@@ -1,0 +1,30 @@
+// Command plinius-fio regenerates the paper's Fig. 2 storage
+// characterisation: sequential and random read/write throughput on the
+// emulated SSD, PM(ext4+DAX) and ramdisk devices with the sync I/O
+// engine (an fsync after every written block).
+//
+// Usage:
+//
+//	plinius-fio                     # the paper's grid (512 MB/thread)
+//	plinius-fio -file-mb 64         # smaller files, same per-op costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plinius/internal/experiments"
+)
+
+func main() {
+	fileMB := flag.Int("file-mb", 512, "file size per thread in MB")
+	flag.Parse()
+
+	res, err := experiments.RunFig2([]int{1, 2, 4, 8}, *fileMB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plinius-fio:", err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+}

@@ -1,0 +1,99 @@
+// Command plinius-spot simulates Plinius training on an AWS EC2 spot
+// instance (paper Fig. 10): a price trace is replayed against a maximum
+// bid; the training process is killed when outbid and resumed — with
+// full model recovery from PM — when the price drops.
+//
+// Usage:
+//
+//	plinius-spot -bid 0.0955 -iters 100
+//	plinius-spot -trace prices.csv -bid 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plinius"
+)
+
+func main() {
+	var (
+		bid       = flag.Float64("bid", 0.0955, "maximum bid price")
+		iters     = flag.Int("iters", 60, "target training iterations")
+		perIvl    = flag.Int("iters-per-interval", 4, "iterations per 5-minute interval")
+		layers    = flag.Int("layers", 3, "convolutional layers")
+		batch     = flag.Int("batch", 32, "batch size")
+		dataset   = flag.Int("dataset", 1000, "synthetic training samples")
+		tracePath = flag.String("trace", "", "CSV price trace (minutes,price); empty = synthetic")
+		seed      = flag.Int64("seed", 42, "random seed")
+		resilient = flag.Bool("resilient", true, "enable the mirroring mechanism")
+	)
+	flag.Parse()
+
+	if err := run(*bid, *iters, *perIvl, *layers, *batch, *dataset, *tracePath, *seed, *resilient); err != nil {
+		fmt.Fprintln(os.Stderr, "plinius-spot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bid float64, iters, perIvl, layers, batch, dataset int, tracePath string, seed int64, resilient bool) error {
+	var trace plinius.SpotTrace
+	if tracePath != "" {
+		fh, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		if trace, err = plinius.ParseSpotTrace(fh); err != nil {
+			return err
+		}
+	} else {
+		trace = plinius.SyntheticSpotTrace(4*iters/perIvl, 0.09, 0.004, seed+5)
+	}
+
+	mirrorFreq := 1
+	if !resilient {
+		mirrorFreq = -1
+	}
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(layers, 4, batch),
+		Server:      plinius.EmlSGXPM(),
+		MirrorFreq:  mirrorFreq,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := f.LoadDataset(plinius.SyntheticDataset(dataset, seed)); err != nil {
+		return err
+	}
+
+	res, err := plinius.RunSpot(trace, plinius.SpotConfig{
+		MaxBid:           bid,
+		TargetIters:      iters,
+		ItersPerInterval: perIvl,
+	}, &plinius.SpotTrainer{F: f})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace: %d intervals, %d interruptions at bid %.4f\n",
+		len(trace.Prices), trace.Interruptions(bid), bid)
+	fmt.Printf("executed %d iterations, completed=%v, interruptions hit=%d\n",
+		res.Iterations, res.Completed, res.Interruptions)
+	fmt.Printf("final model iteration: %d (crash resilient: %v)\n", f.Iteration(), resilient)
+	fmt.Print("state curve: ")
+	for _, s := range res.States {
+		if s.Running {
+			fmt.Print("1")
+		} else {
+			fmt.Print("0")
+		}
+	}
+	fmt.Println()
+	if n := len(res.Losses); n > 0 {
+		fmt.Printf("loss: first %.4f, last %.4f\n", res.Losses[0], res.Losses[n-1])
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Secure inference: the paper's §VI classification experiment as a
+// runnable demo.
+//
+// A CNN is trained inside the enclave, then used to classify a held-out
+// test set — still inside the enclave, so neither the model parameters
+// nor the images are ever visible to the untrusted host.
+//
+//	go run ./examples/secure_inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plinius"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(2, 8, 64),
+		Server:      plinius.EmlSGXPM(),
+		Seed:        4,
+	})
+	if err != nil {
+		return err
+	}
+
+	full := plinius.SyntheticDataset(2000, 4)
+	train, test, err := full.Split(1500)
+	if err != nil {
+		return err
+	}
+	if err := f.LoadDataset(train); err != nil {
+		return err
+	}
+
+	fmt.Println("training in the enclave...")
+	if err := f.Train(150, func(iter int, loss float32) {
+		if iter%30 == 0 {
+			fmt.Printf("iter %3d  loss %.4f\n", iter, loss)
+		}
+	}); err != nil {
+		return err
+	}
+
+	acc, err := f.Infer(test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("classified %d held-out digits in-enclave: accuracy %.2f%%\n",
+		test.N, 100*acc)
+	fmt.Println("(the paper's 12-layer model reaches 98.52% on real MNIST)")
+	return nil
+}

@@ -1,0 +1,465 @@
+// Package core implements the Plinius framework: secure ML model
+// training in an (emulated) SGX enclave with fault tolerance on
+// (emulated) persistent memory through the mirroring mechanism.
+//
+// A Framework wires together every substrate — the enclave, the PM
+// device, SGX-Romulus, the encryption engine, SGX-Darknet and the
+// mirroring module — and drives the paper's full workflow (Fig. 5):
+// remote attestation and key provisioning, dataset loading into
+// encrypted byte-addressable PM, iterative training with per-iteration
+// encrypted mirroring (Algorithm 2), crash recovery, and secure
+// inference. It also implements the SSD checkpointing baseline the
+// paper compares against (checkpoint.go).
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"strings"
+
+	"plinius/internal/darknet"
+	"plinius/internal/enclave"
+	"plinius/internal/engine"
+	"plinius/internal/mirror"
+	"plinius/internal/mnist"
+	"plinius/internal/pm"
+	"plinius/internal/romulus"
+	"plinius/internal/storage"
+)
+
+// ServerProfile bundles the hardware cost models of one evaluation
+// machine.
+type ServerProfile struct {
+	Name    string
+	Enclave enclave.Profile
+	PM      pm.Profile
+	SSD     storage.Profile
+}
+
+// SGXEmlPM returns the paper's sgx-emlPM server: real SGX, PM emulated
+// with a ramdisk.
+func SGXEmlPM() ServerProfile {
+	return ServerProfile{
+		Name:    "sgx-emlPM",
+		Enclave: enclave.SGXEmlPMProfile(),
+		PM:      pm.RamdiskProfile(),
+		SSD:     storage.SSDProfile(),
+	}
+}
+
+// EmlSGXPM returns the paper's emlSGX-PM server: SGX in simulation
+// mode, real Optane PM.
+func EmlSGXPM() ServerProfile {
+	return ServerProfile{
+		Name:    "emlSGX-PM",
+		Enclave: enclave.EmlSGXPMProfile(),
+		PM:      pm.OptaneProfile(),
+		SSD:     storage.SSDSlowProfile(),
+	}
+}
+
+// Config parameterises a Framework.
+type Config struct {
+	// ModelConfig is the Darknet .cfg text of the model to train.
+	ModelConfig string
+	// Server selects the machine cost model (default SGXEmlPM).
+	Server ServerProfile
+	// PMBytes sizes the PM device (default 256 MB).
+	PMBytes int
+	// MirrorFreq mirrors the model every N iterations. 0 means the
+	// paper's default of every iteration; negative disables mirroring
+	// entirely (the non-crash-resilient baseline of Fig. 9b/10c).
+	MirrorFreq int
+	// Seed drives all randomness (weights, batches, enclave RNG).
+	Seed int64
+	// DataKey is the 128-bit data encryption key. Empty means run the
+	// full remote-attestation provisioning flow with a fresh owner key.
+	DataKey []byte
+	// PlaintextData stores training rows unencrypted in PM (Fig. 8
+	// baseline only).
+	PlaintextData bool
+	// TrainOverheadBytes approximates the enclave working set beyond
+	// the model parameters (activation/encryption buffers, code). The
+	// paper observes the EPC limit being reached at 78 MB of model for
+	// 93.5 MB of usable EPC, i.e. ~15 MB of other state.
+	TrainOverheadBytes int
+}
+
+const (
+	defaultPMBytes  = 256 << 20
+	defaultOverhead = 15 << 20
+)
+
+// Framework errors.
+var (
+	ErrNoDataset   = errors.New("core: no dataset loaded; call LoadDataset first")
+	ErrNotCrashed  = errors.New("core: recover called on a live framework")
+	ErrCrashedDown = errors.New("core: framework is crashed; call Recover")
+)
+
+// Framework is a live Plinius instance.
+type Framework struct {
+	cfg Config
+
+	Enclave *enclave.Enclave
+	PM      *pm.Device
+	SSD     *storage.Device
+	Rom     *romulus.Romulus
+	Engine  *engine.Engine
+	Net     *darknet.Network
+	Mirror  *mirror.Model
+	Data    *mirror.DataMatrix
+
+	key      []byte
+	rng      *mrand.Rand
+	reserved int
+	crashed  bool
+}
+
+// New builds a Framework: it creates the enclave, provisions the data
+// key (via remote attestation when none is supplied), maps the PM
+// device through SGX-Romulus, and builds the enclave model from the
+// config (parsed in the untrusted runtime, passed in via an ecall, as
+// in §IV).
+func New(cfg Config) (*Framework, error) {
+	if cfg.ModelConfig == "" {
+		return nil, errors.New("core: ModelConfig is required")
+	}
+	if cfg.Server.Name == "" {
+		cfg.Server = SGXEmlPM()
+	}
+	if cfg.PMBytes == 0 {
+		cfg.PMBytes = defaultPMBytes
+	}
+	if cfg.MirrorFreq == 0 {
+		cfg.MirrorFreq = 1
+	}
+	if cfg.TrainOverheadBytes == 0 {
+		cfg.TrainOverheadBytes = defaultOverhead
+	}
+
+	f := &Framework{cfg: cfg}
+	f.Enclave = enclave.New(cfg.Server.Enclave, enclave.WithSeed(cfg.Seed))
+	f.SSD = storage.NewDevice(cfg.Server.SSD)
+	dev, err := pm.New(cfg.PMBytes, pm.WithProfile(cfg.Server.PM))
+	if err != nil {
+		return nil, fmt.Errorf("core: pm device: %w", err)
+	}
+	f.PM = dev
+
+	if err := f.provisionKey(); err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(f.key, engine.WithEnclave(f.Enclave))
+	if err != nil {
+		return nil, fmt.Errorf("core: engine: %w", err)
+	}
+	f.Engine = eng
+
+	// Algorithm 1: the untrusted helper mmaps PM and passes the header
+	// address into the enclave, which validates and recovers.
+	err = f.Enclave.Ecall(func() error {
+		rom, err := romulus.Open(dev, romulus.WithEnv(romulusEnv(cfg.Server)))
+		if err != nil {
+			return err
+		}
+		f.Rom = rom
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: romulus init: %w", err)
+	}
+
+	if err := f.buildModel(); err != nil {
+		return nil, err
+	}
+	f.rng = mrand.New(mrand.NewSource(cfg.Seed + 1))
+	return f, nil
+}
+
+// romulusEnv maps the server profile to a Romulus execution environment.
+func romulusEnv(s ServerProfile) romulus.Env {
+	if s.Enclave.HardwareSGX {
+		return romulus.SGXEnv()
+	}
+	return romulus.NativeEnv()
+}
+
+// provisionKey establishes the data key: either the caller supplied it
+// (already provisioned out of band) or the full Fig. 5 steps 2-3 run —
+// remote attestation, quote verification by the owner, ECDH channel,
+// wrapped-key delivery, in-enclave unwrap.
+func (f *Framework) provisionKey() error {
+	if len(f.cfg.DataKey) == engine.KeySize {
+		f.key = append([]byte(nil), f.cfg.DataKey...)
+		return nil
+	}
+	if len(f.cfg.DataKey) != 0 {
+		return fmt.Errorf("core: data key must be %d bytes, got %d", engine.KeySize, len(f.cfg.DataKey))
+	}
+	sess, quote, err := f.Enclave.BeginAttestation()
+	if err != nil {
+		return fmt.Errorf("core: attestation: %w", err)
+	}
+	owner, err := enclave.NewOwner(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("core: owner: %w", err)
+	}
+	ownerChannel, err := owner.VerifyQuote(quote, enclave.PliniusMeasurement())
+	if err != nil {
+		return fmt.Errorf("core: quote verification: %w", err)
+	}
+	dataKey, err := engine.GenerateKey(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("core: owner keygen: %w", err)
+	}
+	wrapped, err := engine.WrapKey(ownerChannel, dataKey, rand.Reader)
+	if err != nil {
+		return fmt.Errorf("core: wrap key: %w", err)
+	}
+	// Enclave side: derive the same channel key and unwrap.
+	return f.Enclave.Ecall(func() error {
+		enclaveChannel, err := sess.CompleteAttestation(owner.PublicKey())
+		if err != nil {
+			return fmt.Errorf("core: complete attestation: %w", err)
+		}
+		key, err := engine.UnwrapKey(enclaveChannel, wrapped)
+		if err != nil {
+			return fmt.Errorf("core: unwrap key: %w", err)
+		}
+		f.key = key
+		return nil
+	})
+}
+
+// buildModel parses the config in the untrusted runtime and builds the
+// enclave model via an ecall, reserving its EPC footprint.
+func (f *Framework) buildModel() error {
+	net, err := darknet.ParseConfig(strings.NewReader(f.cfg.ModelConfig),
+		mrand.New(mrand.NewSource(f.cfg.Seed)))
+	if err != nil {
+		return fmt.Errorf("core: model config: %w", err)
+	}
+	return f.Enclave.Ecall(func() error {
+		f.Net = net
+		f.reserved = net.ParamBytes() + f.cfg.TrainOverheadBytes
+		if err := f.Enclave.Reserve(f.reserved); err != nil {
+			return fmt.Errorf("core: reserve model: %w", err)
+		}
+		return nil
+	})
+}
+
+// LoadDataset runs the PM-data module path (Fig. 5 step 4): the sealed
+// dataset is read from secondary storage via an ocall and transformed
+// into the encrypted byte-addressable matrix in PM.
+func (f *Framework) LoadDataset(ds *mnist.Dataset) error {
+	if f.crashed {
+		return ErrCrashedDown
+	}
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	// Untrusted helper reads the initial dataset from secondary storage
+	// into DRAM (charged as one ocall plus the SSD read).
+	err := f.Enclave.Ocall(func() error {
+		name := "dataset.enc"
+		fh, err := f.SSD.Create(name)
+		if err != nil {
+			return err
+		}
+		sealedSize := ds.N * engine.SealedLen(4*(mnist.Rows*mnist.Cols+mnist.Classes))
+		if _, err := fh.Write(make([]byte, sealedSize)); err != nil {
+			return err
+		}
+		if _, err := fh.Seek(0, 0); err != nil {
+			return err
+		}
+		buf := make([]byte, sealedSize)
+		if _, err := fh.Read(buf); err != nil {
+			return err
+		}
+		return fh.Close()
+	})
+	if err != nil {
+		return fmt.Errorf("core: dataset staging: %w", err)
+	}
+	var opts []mirror.DataOption
+	if f.cfg.PlaintextData {
+		opts = append(opts, mirror.WithPlaintextRows())
+	}
+	return f.Enclave.Ecall(func() error {
+		dm, err := mirror.LoadData(f.Rom, f.Engine, ds, opts...)
+		if err != nil {
+			return fmt.Errorf("core: load data to PM: %w", err)
+		}
+		f.Data = dm
+		return nil
+	})
+}
+
+// Train runs Algorithm 2 until the model has completed maxIter
+// iterations (counting iterations restored from the mirror). The
+// callback, if non-nil, observes every iteration's loss.
+func (f *Framework) Train(maxIter int, cb func(iter int, loss float32)) error {
+	if f.crashed {
+		return ErrCrashedDown
+	}
+	if f.Data == nil {
+		return ErrNoDataset
+	}
+	return f.Enclave.Ecall(func() error {
+		if err := f.attachMirror(); err != nil {
+			return err
+		}
+		batch := f.Net.Config.Batch
+		for f.Net.Iteration < maxIter {
+			x, y, err := f.Data.Batch(f.rng, batch)
+			if err != nil {
+				return fmt.Errorf("core: batch: %w", err)
+			}
+			f.Enclave.Touch(4 * (len(x) + len(y)))
+			loss, err := f.Net.TrainBatch(x, y, batch)
+			if err != nil {
+				return fmt.Errorf("core: iteration %d: %w", f.Net.Iteration, err)
+			}
+			if f.mirroring() && f.Net.Iteration%f.cfg.MirrorFreq == 0 {
+				if err := f.Mirror.MirrorOut(f.Net); err != nil {
+					return fmt.Errorf("core: mirror out: %w", err)
+				}
+			}
+			if cb != nil {
+				cb(f.Net.Iteration, loss)
+			}
+		}
+		return nil
+	})
+}
+
+func (f *Framework) mirroring() bool { return f.cfg.MirrorFreq > 0 }
+
+// attachMirror implements Algorithm 2 lines 7-12: restore from an
+// existing persistent model or allocate a fresh one.
+func (f *Framework) attachMirror() error {
+	if !f.mirroring() || f.Mirror != nil {
+		return nil
+	}
+	if mirror.Exists(f.Rom) {
+		m, err := mirror.OpenModel(f.Rom, f.Engine, mirror.WithEnclave(f.Enclave))
+		if err != nil {
+			return fmt.Errorf("core: open mirror: %w", err)
+		}
+		if _, err := m.MirrorIn(f.Net); err != nil {
+			return fmt.Errorf("core: mirror in: %w", err)
+		}
+		f.Mirror = m
+		return nil
+	}
+	m, err := mirror.AllocModel(f.Rom, f.Engine, f.Net, mirror.WithEnclave(f.Enclave))
+	if err != nil {
+		return fmt.Errorf("core: alloc mirror: %w", err)
+	}
+	f.Mirror = m
+	return nil
+}
+
+// Crash simulates a power failure or spot-instance reclamation: the
+// enclave and all volatile state vanish, and PM loses every unflushed
+// cache line.
+func (f *Framework) Crash() {
+	f.PM.Crash()
+	f.Rom = nil
+	f.Mirror = nil
+	f.Data = nil
+	f.Net = nil
+	f.crashed = true
+	if f.reserved > 0 {
+		_ = f.Enclave.Free(f.reserved)
+		f.reserved = 0
+	}
+}
+
+// Recover restarts the process after a Crash: a fresh enclave model is
+// built (random weights), SGX-Romulus re-opens the PM heap (running its
+// recovery), and the persistent data matrix is re-attached. The model
+// parameters themselves are restored lazily by Train via mirror-in —
+// or immediately if RestoreNow is true.
+func (f *Framework) Recover(restoreNow bool) error {
+	if !f.crashed {
+		return ErrNotCrashed
+	}
+	err := f.Enclave.Ecall(func() error {
+		rom, err := romulus.Open(f.PM, romulus.WithEnv(romulusEnv(f.cfg.Server)))
+		if err != nil {
+			return err
+		}
+		f.Rom = rom
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: recover romulus: %w", err)
+	}
+	if err := f.buildModel(); err != nil {
+		return err
+	}
+	f.crashed = false
+	if mirror.DataExists(f.Rom) {
+		var opts []mirror.DataOption
+		if f.cfg.PlaintextData {
+			opts = append(opts, mirror.WithPlaintextRows())
+		}
+		dm, err := mirror.OpenData(f.Rom, f.Engine, opts...)
+		if err != nil {
+			return fmt.Errorf("core: reopen data: %w", err)
+		}
+		f.Data = dm
+	}
+	if restoreNow && f.mirroring() {
+		return f.Enclave.Ecall(f.attachMirror)
+	}
+	return nil
+}
+
+// Infer classifies the test set with the trained enclave model and
+// returns the accuracy in [0,1] (§VI secure inference).
+func (f *Framework) Infer(test *mnist.Dataset) (float64, error) {
+	if f.crashed {
+		return 0, ErrCrashedDown
+	}
+	if err := test.Validate(); err != nil {
+		return 0, err
+	}
+	correct := 0
+	err := f.Enclave.Ecall(func() error {
+		for i := 0; i < test.N; i++ {
+			cls, err := f.Net.Classify(test.Image(i))
+			if err != nil {
+				return err
+			}
+			if cls == test.Labels[i] {
+				correct++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: inference: %w", err)
+	}
+	return float64(correct) / float64(test.N), nil
+}
+
+// Iteration returns the model's completed iteration count.
+func (f *Framework) Iteration() int {
+	if f.Net == nil {
+		return 0
+	}
+	return f.Net.Iteration
+}
+
+// Key returns a copy of the provisioned data key (test hook).
+func (f *Framework) Key() []byte { return append([]byte(nil), f.key...) }
+
+// Crashed reports whether the framework is down awaiting Recover.
+func (f *Framework) Crashed() bool { return f.crashed }

@@ -1,0 +1,33 @@
+package core
+
+import "plinius/internal/spot"
+
+// SpotTrainer adapts a Framework to the spot-instance simulator's
+// Trainer protocol (Fig. 10): a Kill is a power failure (PM keeps only
+// flushed data), a Resume restarts the process and recovers through
+// SGX-Romulus and mirror-in.
+type SpotTrainer struct {
+	F *Framework
+}
+
+var _ spot.Trainer = (*SpotTrainer)(nil)
+
+// Step runs exactly one training iteration and returns its loss.
+func (s *SpotTrainer) Step() (float32, error) {
+	var loss float32
+	target := s.F.Iteration() + 1
+	err := s.F.Train(target, func(_ int, l float32) { loss = l })
+	return loss, err
+}
+
+// Kill simulates the spot instance being reclaimed.
+func (s *SpotTrainer) Kill() { s.F.Crash() }
+
+// Resume restarts the training process, restoring the mirrored model
+// when crash resilience is enabled.
+func (s *SpotTrainer) Resume() error {
+	if !s.F.Crashed() {
+		return nil // initial launch
+	}
+	return s.F.Recover(true)
+}

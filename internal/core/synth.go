@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Synthetic model construction for the Fig. 7 / Table I size sweep. The
+// paper varies model size "by increasing the total number of
+// convolutional layers"; this builder does the same, stacking
+// fixed-width conv layers until the parameter footprint reaches the
+// target.
+
+// synthFilters is the conv width of the size-sweep models. One
+// 3x3xFxF layer holds F*F*9 weights plus 4F per-filter buffers.
+const synthFilters = 160
+
+// synthLayerBytes returns the parameter bytes of one inner conv layer.
+func synthLayerBytes() int {
+	return 4 * (synthFilters*synthFilters*9 + 4*synthFilters)
+}
+
+// SyntheticModelConfig returns a Darknet .cfg whose parameter footprint
+// is approximately targetBytes (within one conv layer's size).
+func SyntheticModelConfig(targetBytes int) (string, error) {
+	layerBytes := synthLayerBytes()
+	if targetBytes < layerBytes {
+		return "", fmt.Errorf("core: target %d below one layer (%d bytes)", targetBytes, layerBytes)
+	}
+	layers := targetBytes / layerBytes
+	var sb strings.Builder
+	sb.WriteString("[net]\nbatch=1\nlearning_rate=0.1\nchannels=1\nheight=28\nwidth=28\n\n")
+	for i := 0; i < layers; i++ {
+		fmt.Fprintf(&sb, "[convolutional]\nfilters=%d\nsize=3\nstride=1\npad=1\nactivation=leaky\n\n", synthFilters)
+	}
+	sb.WriteString("[maxpool]\nsize=2\nstride=2\n\n[connected]\noutput=10\nactivation=linear\n\n[softmax]\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,341 @@
+package darknet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ConvConfig parameterises a convolutional layer.
+type ConvConfig struct {
+	Filters    int
+	Size       int
+	Stride     int
+	Pad        int
+	Activation Activation
+	BatchNorm  bool
+}
+
+// Conv is a 2-D convolutional layer with optional batch normalisation.
+// As in Darknet, the layer always carries five parameter buffers —
+// weights, biases, scales, rolling mean, rolling variance — so the
+// mirroring module's per-layer encryption metadata matches the paper's
+// 140 B/layer accounting even when batch norm is disabled.
+type Conv struct {
+	in, out Shape
+	cfg     ConvConfig
+
+	weights, biases            []float32
+	scales, rollMean, rollVar  []float32
+	gWeights, gBiases, gScales []float32
+	vWeights, vBiases, vScales []float32
+	batchMean, batchVar        []float32
+	gMean, gVar                []float32
+	lastX, lastCols, lastOut   []float32
+	preBN, xhat                []float32
+	lastBatch                  int
+}
+
+var _ Layer = (*Conv)(nil)
+
+// NewConv builds a convolutional layer for the given input volume.
+func NewConv(in Shape, cfg ConvConfig, rng *rand.Rand) (*Conv, error) {
+	if cfg.Filters <= 0 || cfg.Size <= 0 || cfg.Stride <= 0 || cfg.Pad < 0 {
+		return nil, fmt.Errorf("%w: conv %+v", ErrBadConfig, cfg)
+	}
+	if cfg.Activation == 0 {
+		cfg.Activation = LeakyReLU
+	}
+	outH := (in.H+2*cfg.Pad-cfg.Size)/cfg.Stride + 1
+	outW := (in.W+2*cfg.Pad-cfg.Size)/cfg.Stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("%w: conv output %dx%d", ErrBadConfig, outH, outW)
+	}
+	k := in.C * cfg.Size * cfg.Size
+	c := &Conv{
+		in:       in,
+		out:      Shape{C: cfg.Filters, H: outH, W: outW},
+		cfg:      cfg,
+		weights:  make([]float32, cfg.Filters*k),
+		biases:   make([]float32, cfg.Filters),
+		scales:   make([]float32, cfg.Filters),
+		rollMean: make([]float32, cfg.Filters),
+		rollVar:  make([]float32, cfg.Filters),
+		gWeights: make([]float32, cfg.Filters*k),
+		gBiases:  make([]float32, cfg.Filters),
+		gScales:  make([]float32, cfg.Filters),
+		vWeights: make([]float32, cfg.Filters*k),
+		vBiases:  make([]float32, cfg.Filters),
+		vScales:  make([]float32, cfg.Filters),
+	}
+	initScaled(rng, c.weights, k)
+	for i := range c.scales {
+		c.scales[i] = 1
+		c.rollVar[i] = 1
+	}
+	return c, nil
+}
+
+// Kind implements Layer.
+func (c *Conv) Kind() string { return "convolutional" }
+
+// InShape implements Layer.
+func (c *Conv) InShape() Shape { return c.in }
+
+// OutShape implements Layer.
+func (c *Conv) OutShape() Shape { return c.out }
+
+// Params implements Layer: the five Darknet conv parameter buffers.
+func (c *Conv) Params() [][]float32 {
+	return [][]float32{c.weights, c.biases, c.scales, c.rollMean, c.rollVar}
+}
+
+// Grads implements Layer. Rolling statistics have no gradients; they
+// are updated by forward passes, so their slots are nil.
+func (c *Conv) Grads() [][]float32 {
+	return [][]float32{c.gWeights, c.gBiases, c.gScales, nil, nil}
+}
+
+func (c *Conv) kcols() int { return c.in.C * c.cfg.Size * c.cfg.Size }
+
+// im2col expands one input volume into a (k x outH*outW) column matrix.
+func (c *Conv) im2col(x []float32, cols []float32) {
+	size, stride, pad := c.cfg.Size, c.cfg.Stride, c.cfg.Pad
+	outHW := c.out.H * c.out.W
+	for ch := 0; ch < c.in.C; ch++ {
+		chBase := ch * c.in.H * c.in.W
+		for ky := 0; ky < size; ky++ {
+			for kx := 0; kx < size; kx++ {
+				row := ((ch*size+ky)*size + kx) * outHW
+				for oy := 0; oy < c.out.H; oy++ {
+					iy := oy*stride + ky - pad
+					for ox := 0; ox < c.out.W; ox++ {
+						ix := ox*stride + kx - pad
+						var v float32
+						if iy >= 0 && iy < c.in.H && ix >= 0 && ix < c.in.W {
+							v = x[chBase+iy*c.in.W+ix]
+						}
+						cols[row+oy*c.out.W+ox] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a column-matrix gradient back into an input-volume
+// gradient (accumulating).
+func (c *Conv) col2im(cols []float32, dx []float32) {
+	size, stride, pad := c.cfg.Size, c.cfg.Stride, c.cfg.Pad
+	outHW := c.out.H * c.out.W
+	for ch := 0; ch < c.in.C; ch++ {
+		chBase := ch * c.in.H * c.in.W
+		for ky := 0; ky < size; ky++ {
+			for kx := 0; kx < size; kx++ {
+				row := ((ch*size+ky)*size + kx) * outHW
+				for oy := 0; oy < c.out.H; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= c.in.H {
+						continue
+					}
+					for ox := 0; ox < c.out.W; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= c.in.W {
+							continue
+						}
+						dx[chBase+iy*c.in.W+ix] += cols[row+oy*c.out.W+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv) Forward(x []float32, batch int, train bool) ([]float32, error) {
+	if err := checkInput(x, batch, c.in); err != nil {
+		return nil, err
+	}
+	k := c.kcols()
+	outHW := c.out.H * c.out.W
+	outSize := c.out.Size()
+	if cap(c.lastCols) < batch*k*outHW {
+		c.lastCols = make([]float32, batch*k*outHW)
+	}
+	c.lastCols = c.lastCols[:batch*k*outHW]
+	out := make([]float32, batch*outSize)
+	for b := 0; b < batch; b++ {
+		cols := c.lastCols[b*k*outHW : (b+1)*k*outHW]
+		c.im2col(x[b*c.in.Size():(b+1)*c.in.Size()], cols)
+		gemm(c.cfg.Filters, k, outHW, c.weights, cols, out[b*outSize:(b+1)*outSize])
+	}
+	c.lastX = x
+	c.lastBatch = batch
+
+	if c.cfg.BatchNorm {
+		c.forwardBatchNorm(out, batch, train)
+	}
+	// Bias add (after BN, as in Darknet: biases act as the BN beta).
+	for b := 0; b < batch; b++ {
+		for f := 0; f < c.cfg.Filters; f++ {
+			base := b*outSize + f*outHW
+			bias := c.biases[f]
+			for i := 0; i < outHW; i++ {
+				out[base+i] += bias
+			}
+		}
+	}
+	activate(c.cfg.Activation, out)
+	c.lastOut = out
+	return out, nil
+}
+
+const bnEps = 1e-5
+const bnMomentum = 0.99
+
+func (c *Conv) forwardBatchNorm(out []float32, batch int, train bool) {
+	outHW := c.out.H * c.out.W
+	outSize := c.out.Size()
+	if cap(c.batchMean) < c.cfg.Filters {
+		c.batchMean = make([]float32, c.cfg.Filters)
+		c.batchVar = make([]float32, c.cfg.Filters)
+	}
+	c.batchMean = c.batchMean[:c.cfg.Filters]
+	c.batchVar = c.batchVar[:c.cfg.Filters]
+
+	if cap(c.preBN) < len(out) {
+		c.preBN = make([]float32, len(out))
+		c.xhat = make([]float32, len(out))
+	}
+	c.preBN = c.preBN[:len(out)]
+	c.xhat = c.xhat[:len(out)]
+	copy(c.preBN, out)
+
+	n := float32(batch * outHW)
+	var mean, varv []float32
+	if train {
+		for f := 0; f < c.cfg.Filters; f++ {
+			var sum float32
+			for b := 0; b < batch; b++ {
+				base := b*outSize + f*outHW
+				for i := 0; i < outHW; i++ {
+					sum += out[base+i]
+				}
+			}
+			m := sum / n
+			var sq float32
+			for b := 0; b < batch; b++ {
+				base := b*outSize + f*outHW
+				for i := 0; i < outHW; i++ {
+					d := out[base+i] - m
+					sq += d * d
+				}
+			}
+			c.batchMean[f] = m
+			c.batchVar[f] = sq / n
+			c.rollMean[f] = bnMomentum*c.rollMean[f] + (1-bnMomentum)*m
+			c.rollVar[f] = bnMomentum*c.rollVar[f] + (1-bnMomentum)*c.batchVar[f]
+		}
+		mean, varv = c.batchMean, c.batchVar
+	} else {
+		mean, varv = c.rollMean, c.rollVar
+	}
+	for f := 0; f < c.cfg.Filters; f++ {
+		inv := 1 / sqrt32(varv[f]+bnEps)
+		scale := c.scales[f]
+		m := mean[f]
+		for b := 0; b < batch; b++ {
+			base := b*outSize + f*outHW
+			for i := 0; i < outHW; i++ {
+				xh := (out[base+i] - m) * inv
+				c.xhat[base+i] = xh
+				out[base+i] = scale * xh
+			}
+		}
+	}
+}
+
+// Backward implements Layer.
+func (c *Conv) Backward(delta []float32) ([]float32, error) {
+	if c.lastBatch == 0 || len(delta) != c.lastBatch*c.out.Size() {
+		return nil, ErrBatchMismatch
+	}
+	batch := c.lastBatch
+	gradActivate(c.cfg.Activation, c.lastOut, delta)
+
+	outHW := c.out.H * c.out.W
+	outSize := c.out.Size()
+	// Bias gradients.
+	for b := 0; b < batch; b++ {
+		for f := 0; f < c.cfg.Filters; f++ {
+			base := b*outSize + f*outHW
+			var sum float32
+			for i := 0; i < outHW; i++ {
+				sum += delta[base+i]
+			}
+			c.gBiases[f] += sum
+		}
+	}
+	if c.cfg.BatchNorm {
+		c.backwardBatchNorm(delta, batch)
+	}
+
+	k := c.kcols()
+	dx := make([]float32, batch*c.in.Size())
+	dcols := make([]float32, k*outHW)
+	for b := 0; b < batch; b++ {
+		cols := c.lastCols[b*k*outHW : (b+1)*k*outHW]
+		dout := delta[b*outSize : (b+1)*outSize]
+		// dW += dout x colsᵀ : (filters x outHW) x (outHW x k)
+		gemmTB(c.cfg.Filters, outHW, k, dout, cols, c.gWeights)
+		// dcols = Wᵀ x dout : (k x filters) x (filters x outHW)
+		for i := range dcols {
+			dcols[i] = 0
+		}
+		gemmTA(k, c.cfg.Filters, outHW, c.weights, dout, dcols)
+		c.col2im(dcols, dx[b*c.in.Size():(b+1)*c.in.Size()])
+	}
+	return dx, nil
+}
+
+// backwardBatchNorm rewrites delta (d loss / d BN output) into
+// d loss / d BN input and accumulates scale gradients.
+func (c *Conv) backwardBatchNorm(delta []float32, batch int) {
+	outHW := c.out.H * c.out.W
+	outSize := c.out.Size()
+	n := float32(batch * outHW)
+	for f := 0; f < c.cfg.Filters; f++ {
+		inv := 1 / sqrt32(c.batchVar[f]+bnEps)
+		scale := c.scales[f]
+		var sumDelta, sumDeltaXhat float32
+		for b := 0; b < batch; b++ {
+			base := b*outSize + f*outHW
+			for i := 0; i < outHW; i++ {
+				d := delta[base+i]
+				sumDelta += d
+				sumDeltaXhat += d * c.xhat[base+i]
+			}
+		}
+		c.gScales[f] += sumDeltaXhat
+		for b := 0; b < batch; b++ {
+			base := b*outSize + f*outHW
+			for i := 0; i < outHW; i++ {
+				d := delta[base+i]
+				xh := c.xhat[base+i]
+				delta[base+i] = scale * inv / n * (n*d - sumDelta - xh*sumDeltaXhat)
+			}
+		}
+	}
+}
+
+// Update implements Layer.
+func (c *Conv) Update(lr, momentum, decay float32) {
+	sgdStep(c.weights, c.gWeights, c.vWeights, lr, momentum, decay)
+	sgdStep(c.biases, c.gBiases, c.vBiases, lr, momentum, 0)
+	if c.cfg.BatchNorm {
+		sgdStep(c.scales, c.gScales, c.vScales, lr, momentum, 0)
+	} else {
+		for i := range c.gScales {
+			c.gScales[i] = 0
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package darknet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGradientsPureLinearConvStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, err := NewBuilder(NetConfig{
+		Batch: 2, LearningRate: 0.1, Channels: 1, Height: 8, Width: 8,
+	}, rng).
+		Conv(ConvConfig{Filters: 2, Size: 3, Stride: 1, Pad: 1, Activation: Linear}).
+		Conv(ConvConfig{Filters: 3, Size: 3, Stride: 1, Pad: 1, Activation: Linear}).
+		Connected(3, Linear).
+		Softmax().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := smallBatch(rng, n, 2)
+	zeroGrads(n)
+	backwardOf(t, n, x, y, 2)
+	analytic := make([][][]float32, len(n.Layers))
+	for li, l := range n.Layers {
+		gs := l.Grads()
+		analytic[li] = make([][]float32, len(gs))
+		for gi, g := range gs {
+			analytic[li][gi] = append([]float32(nil), g...)
+		}
+	}
+	const eps = 1e-3
+	for li, l := range n.Layers {
+		for pi, p := range l.Params() {
+			if analytic[li][pi] == nil {
+				continue
+			}
+			step := len(p)/7 + 1
+			for i := 0; i < len(p); i += step {
+				orig := p[i]
+				p[i] = orig + eps
+				lp := lossOf(t, n, x, y, 2)
+				p[i] = orig - eps
+				lm := lossOf(t, n, x, y, 2)
+				p[i] = orig
+				numeric := (lp - lm) / (2 * eps)
+				got := analytic[li][pi][i]
+				if d := math.Abs(float64(numeric - got)); d > 3e-3 && d > 0.05*math.Abs(float64(numeric)) {
+					t.Errorf("layer %d buf %d idx %d: analytic %.6f numeric %.6f", li, pi, i, got, numeric)
+				}
+			}
+		}
+	}
+}

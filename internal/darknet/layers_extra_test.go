@@ -1,0 +1,311 @@
+package darknet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvOutputShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	tests := []struct {
+		name string
+		in   Shape
+		cfg  ConvConfig
+		want Shape
+	}{
+		{"same-pad", Shape{1, 28, 28}, ConvConfig{Filters: 8, Size: 3, Stride: 1, Pad: 1}, Shape{8, 28, 28}},
+		{"valid", Shape{3, 10, 10}, ConvConfig{Filters: 4, Size: 3, Stride: 1, Pad: 0}, Shape{4, 8, 8}},
+		{"stride-2", Shape{1, 28, 28}, ConvConfig{Filters: 2, Size: 3, Stride: 2, Pad: 1}, Shape{2, 14, 14}},
+		{"1x1", Shape{16, 7, 7}, ConvConfig{Filters: 32, Size: 1, Stride: 1, Pad: 0}, Shape{32, 7, 7}},
+		{"5x5", Shape{1, 28, 28}, ConvConfig{Filters: 6, Size: 5, Stride: 1, Pad: 2}, Shape{6, 28, 28}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := NewConv(tt.in, tt.cfg, rng)
+			if err != nil {
+				t.Fatalf("NewConv: %v", err)
+			}
+			if c.OutShape() != tt.want {
+				t.Fatalf("OutShape = %v, want %v", c.OutShape(), tt.want)
+			}
+			// A forward pass produces the declared volume.
+			x := make([]float32, 2*tt.in.Size())
+			out, err := c.Forward(x, 2, false)
+			if err != nil {
+				t.Fatalf("Forward: %v", err)
+			}
+			if len(out) != 2*tt.want.Size() {
+				t.Fatalf("output len %d, want %d", len(out), 2*tt.want.Size())
+			}
+		})
+	}
+}
+
+func TestStridedConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, err := NewBuilder(NetConfig{
+		Batch: 2, LearningRate: 0.1, Channels: 1, Height: 8, Width: 8,
+	}, rng).
+		Conv(ConvConfig{Filters: 2, Size: 3, Stride: 2, Pad: 1, Activation: Linear}).
+		Connected(3, Linear).
+		Softmax().
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	x, y := smallBatch(rng, n, 2)
+	checkGradients(t, n, x, y, 2)
+}
+
+func TestConvKnownValue(t *testing.T) {
+	// A 1x1 input with a single 1x1 filter: out = w*x + b exactly.
+	rng := rand.New(rand.NewSource(42))
+	c, err := NewConv(Shape{1, 1, 1}, ConvConfig{Filters: 1, Size: 1, Stride: 1, Pad: 0, Activation: Linear}, rng)
+	if err != nil {
+		t.Fatalf("NewConv: %v", err)
+	}
+	c.weights[0] = 2.5
+	c.biases[0] = -1
+	out, err := c.Forward([]float32{4}, 1, false)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if out[0] != 2.5*4-1 {
+		t.Fatalf("out = %f, want 9", out[0])
+	}
+}
+
+func TestConvPaddingZeros(t *testing.T) {
+	// A 3x3 all-ones filter on a 1x1 input with pad 1 must see only
+	// the single input pixel (the padding contributes zeros).
+	rng := rand.New(rand.NewSource(43))
+	c, err := NewConv(Shape{1, 1, 1}, ConvConfig{Filters: 1, Size: 3, Stride: 1, Pad: 1, Activation: Linear}, rng)
+	if err != nil {
+		t.Fatalf("NewConv: %v", err)
+	}
+	for i := range c.weights {
+		c.weights[i] = 1
+	}
+	c.biases[0] = 0
+	out, err := c.Forward([]float32{7}, 1, false)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if out[0] != 7 {
+		t.Fatalf("out = %f, want 7 (padding leaked)", out[0])
+	}
+}
+
+func TestActivationFunctions(t *testing.T) {
+	tests := []struct {
+		act  Activation
+		in   float32
+		want float32
+	}{
+		{Linear, -2, -2},
+		{Linear, 3, 3},
+		{ReLU, -2, 0},
+		{ReLU, 3, 3},
+		{LeakyReLU, -2, -0.2},
+		{LeakyReLU, 3, 3},
+	}
+	for _, tt := range tests {
+		v := []float32{tt.in}
+		activate(tt.act, v)
+		if math.Abs(float64(v[0]-tt.want)) > 1e-6 {
+			t.Fatalf("%s(%f) = %f, want %f", tt.act, tt.in, v[0], tt.want)
+		}
+	}
+}
+
+func TestParseActivationRoundTrip(t *testing.T) {
+	for _, a := range []Activation{Linear, ReLU, LeakyReLU} {
+		got, err := ParseActivation(a.String())
+		if err != nil {
+			t.Fatalf("ParseActivation(%s): %v", a, err)
+		}
+		if got != a {
+			t.Fatalf("round trip %s -> %s", a, got)
+		}
+	}
+	if _, err := ParseActivation("swish"); err == nil {
+		t.Fatal("unknown activation accepted")
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const m, k, n = 5, 7, 6
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	naive := func() []float32 {
+		c := make([]float32, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a[i*k+p] * b[p*n+j]
+				}
+				c[i*n+j] = s
+			}
+		}
+		return c
+	}()
+
+	got := make([]float32, m*n)
+	gemm(m, k, n, a, b, got)
+	for i := range naive {
+		if math.Abs(float64(got[i]-naive[i])) > 1e-4 {
+			t.Fatalf("gemm[%d] = %f, want %f", i, got[i], naive[i])
+		}
+	}
+
+	// gemmTA: C += Aᵀ B with A (k x m).
+	at := make([]float32, k*m)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			at[p*m+i] = a[i*k+p]
+		}
+	}
+	gotTA := make([]float32, m*n)
+	gemmTA(m, k, n, at, b, gotTA)
+	for i := range naive {
+		if math.Abs(float64(gotTA[i]-naive[i])) > 1e-4 {
+			t.Fatalf("gemmTA[%d] = %f, want %f", i, gotTA[i], naive[i])
+		}
+	}
+
+	// gemmTB: C += A Bᵀ with B (n x k).
+	bt := make([]float32, n*k)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bt[j*k+p] = b[p*n+j]
+		}
+	}
+	gotTB := make([]float32, m*n)
+	gemmTB(m, k, n, a, bt, gotTB)
+	for i := range naive {
+		if math.Abs(float64(gotTB[i]-naive[i])) > 1e-4 {
+			t.Fatalf("gemmTB[%d] = %f, want %f", i, gotTB[i], naive[i])
+		}
+	}
+}
+
+func TestSqrt32(t *testing.T) {
+	tests := []struct{ in, want float32 }{
+		{0, 0}, {-4, 0}, {1, 1}, {4, 2}, {9, 3}, {2, 1.4142135},
+	}
+	for _, tt := range tests {
+		if got := sqrt32(tt.in); math.Abs(float64(got-tt.want)) > 1e-4 {
+			t.Fatalf("sqrt32(%f) = %f, want %f", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPropertySqrt32MatchesMath(t *testing.T) {
+	f := func(v float32) bool {
+		if v < 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v > 1e30 {
+			return true
+		}
+		got := float64(sqrt32(v))
+		want := math.Sqrt(float64(v))
+		if want == 0 {
+			return got == 0
+		}
+		return math.Abs(got-want)/want < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardOnEmptyNetwork(t *testing.T) {
+	n := &Network{Config: DefaultNetConfig()}
+	if _, err := n.Forward(make([]float32, 4), 1, false); err == nil {
+		t.Fatal("empty network forwarded")
+	}
+	if n.OutputSize() != 0 {
+		t.Fatalf("OutputSize = %d", n.OutputSize())
+	}
+}
+
+func TestTrainBatchRequiresSoftmaxTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n, err := NewBuilder(NetConfig{
+		Batch: 1, LearningRate: 0.1, Channels: 1, Height: 4, Width: 4,
+	}, rng).Connected(3, Linear).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	x := make([]float32, 16)
+	y := make([]float32, 3)
+	if _, err := n.TrainBatch(x, y, 1); err == nil {
+		t.Fatal("training without softmax accepted")
+	}
+}
+
+func TestMaxPoolStrideSmallerThanSize(t *testing.T) {
+	// Overlapping pooling windows.
+	mp, err := NewMaxPool(Shape{1, 4, 4}, 2, 1)
+	if err != nil {
+		t.Fatalf("NewMaxPool: %v", err)
+	}
+	if got := mp.OutShape(); got != (Shape{1, 3, 3}) {
+		t.Fatalf("OutShape = %v", got)
+	}
+	x := make([]float32, 16)
+	x[5] = 9 // interior max shared by several windows
+	out, err := mp.Forward(x, 1, false)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	hits := 0
+	for _, v := range out {
+		if v == 9 {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("interior max appears in %d windows, want 4", hits)
+	}
+	dx, err := mp.Backward(make9(len(out)))
+	if err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	if dx[5] != 4 { // gradient accumulates from all 4 windows
+		t.Fatalf("dx[5] = %f, want 4", dx[5])
+	}
+}
+
+func make9(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestIterationCountsOnlySuccessfulBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	n, err := NewBuilder(NetConfig{
+		Batch: 2, LearningRate: 0.1, Channels: 1, Height: 4, Width: 4,
+	}, rng).Connected(3, Linear).Softmax().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Wrong input size: must fail without incrementing Iteration.
+	if _, err := n.TrainBatch(make([]float32, 5), make([]float32, 6), 2); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if n.Iteration != 0 {
+		t.Fatalf("Iteration = %d after failed batch", n.Iteration)
+	}
+}

@@ -1,0 +1,115 @@
+package darknet
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxPool is a 2-D max-pooling layer.
+type MaxPool struct {
+	in, out   Shape
+	size      int
+	stride    int
+	lastIdx   []int32
+	lastBatch int
+}
+
+var _ Layer = (*MaxPool)(nil)
+
+// NewMaxPool builds a max-pool layer for the given input volume.
+func NewMaxPool(in Shape, size, stride int) (*MaxPool, error) {
+	if size <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("%w: maxpool size=%d stride=%d", ErrBadConfig, size, stride)
+	}
+	outH := (in.H-size)/stride + 1
+	outW := (in.W-size)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("%w: maxpool output %dx%d", ErrBadConfig, outH, outW)
+	}
+	return &MaxPool{
+		in:     in,
+		out:    Shape{C: in.C, H: outH, W: outW},
+		size:   size,
+		stride: stride,
+	}, nil
+}
+
+// Kind implements Layer.
+func (m *MaxPool) Kind() string { return "maxpool" }
+
+// InShape implements Layer.
+func (m *MaxPool) InShape() Shape { return m.in }
+
+// OutShape implements Layer.
+func (m *MaxPool) OutShape() Shape { return m.out }
+
+// Params implements Layer: pooling has no parameters.
+func (m *MaxPool) Params() [][]float32 { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool) Grads() [][]float32 { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x []float32, batch int, train bool) ([]float32, error) {
+	if err := checkInput(x, batch, m.in); err != nil {
+		return nil, err
+	}
+	outSize := m.out.Size()
+	out := make([]float32, batch*outSize)
+	if cap(m.lastIdx) < len(out) {
+		m.lastIdx = make([]int32, len(out))
+	}
+	m.lastIdx = m.lastIdx[:len(out)]
+	inHW := m.in.H * m.in.W
+	for b := 0; b < batch; b++ {
+		for ch := 0; ch < m.in.C; ch++ {
+			inBase := b*m.in.Size() + ch*inHW
+			outBase := b*outSize + ch*m.out.H*m.out.W
+			for oy := 0; oy < m.out.H; oy++ {
+				for ox := 0; ox < m.out.W; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for ky := 0; ky < m.size; ky++ {
+						iy := oy*m.stride + ky
+						if iy >= m.in.H {
+							continue
+						}
+						for kx := 0; kx < m.size; kx++ {
+							ix := ox*m.stride + kx
+							if ix >= m.in.W {
+								continue
+							}
+							idx := int32(inBase + iy*m.in.W + ix)
+							if v := x[idx]; v > best {
+								best = v
+								bestIdx = idx
+							}
+						}
+					}
+					o := outBase + oy*m.out.W + ox
+					out[o] = best
+					m.lastIdx[o] = bestIdx
+				}
+			}
+		}
+	}
+	m.lastBatch = batch
+	return out, nil
+}
+
+// Backward implements Layer: gradients route to each window's argmax.
+func (m *MaxPool) Backward(delta []float32) ([]float32, error) {
+	if m.lastBatch == 0 || len(delta) != m.lastBatch*m.out.Size() {
+		return nil, ErrBatchMismatch
+	}
+	dx := make([]float32, m.lastBatch*m.in.Size())
+	for i, d := range delta {
+		if idx := m.lastIdx[i]; idx >= 0 {
+			dx[idx] += d
+		}
+	}
+	return dx, nil
+}
+
+// Update implements Layer: nothing to update.
+func (m *MaxPool) Update(lr, momentum, decay float32) {}

@@ -1,0 +1,239 @@
+package darknet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// NetConfig holds the [net] section hyper-parameters. Per the threat
+// model (§III), hyper-parameters are public information.
+type NetConfig struct {
+	Batch        int
+	LearningRate float32
+	Momentum     float32
+	Decay        float32
+	Channels     int
+	Height       int
+	Width        int
+}
+
+// DefaultNetConfig matches the paper's evaluation setup: batch 128,
+// SGD learning rate 0.1, 28x28 grayscale inputs.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{
+		Batch:        128,
+		LearningRate: 0.1,
+		Channels:     1,
+		Height:       28,
+		Width:        28,
+	}
+}
+
+// Network is a stack of layers trained with SGD.
+type Network struct {
+	Config NetConfig
+	Layers []Layer
+	// Iteration counts completed training iterations; the mirroring
+	// module persists it so training resumes where it left off
+	// (Algorithm 2).
+	Iteration int
+}
+
+// Errors returned by Network methods.
+var (
+	ErrEmptyNetwork = errors.New("darknet: network has no layers")
+	ErrNoSoftmax    = errors.New("darknet: training requires a softmax output layer")
+)
+
+// Builder assembles a network layer by layer, tracking the activation
+// volume like Darknet's parser does.
+type Builder struct {
+	cfg  NetConfig
+	rng  *rand.Rand
+	cur  Shape
+	nets []Layer
+	err  error
+}
+
+// NewBuilder starts a network with the given config; rng seeds weight
+// initialisation deterministically.
+func NewBuilder(cfg NetConfig, rng *rand.Rand) *Builder {
+	return &Builder{
+		cfg: cfg,
+		rng: rng,
+		cur: Shape{C: cfg.Channels, H: cfg.Height, W: cfg.Width},
+	}
+}
+
+// Conv appends a convolutional layer.
+func (b *Builder) Conv(cfg ConvConfig) *Builder {
+	if b.err != nil {
+		return b
+	}
+	l, err := NewConv(b.cur, cfg, b.rng)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.nets = append(b.nets, l)
+	b.cur = l.OutShape()
+	return b
+}
+
+// MaxPool appends a max-pooling layer.
+func (b *Builder) MaxPool(size, stride int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	l, err := NewMaxPool(b.cur, size, stride)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.nets = append(b.nets, l)
+	b.cur = l.OutShape()
+	return b
+}
+
+// Connected appends a fully-connected layer.
+func (b *Builder) Connected(outputs int, act Activation) *Builder {
+	if b.err != nil {
+		return b
+	}
+	l, err := NewConnected(b.cur, outputs, act, b.rng)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.nets = append(b.nets, l)
+	b.cur = l.OutShape()
+	return b
+}
+
+// Softmax appends the softmax output layer.
+func (b *Builder) Softmax() *Builder {
+	if b.err != nil {
+		return b
+	}
+	l, err := NewSoftmax(b.cur)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.nets = append(b.nets, l)
+	b.cur = l.OutShape()
+	return b
+}
+
+// Build finalises the network.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nets) == 0 {
+		return nil, ErrEmptyNetwork
+	}
+	return &Network{Config: b.cfg, Layers: b.nets}, nil
+}
+
+// Forward runs the whole network and returns the output activations.
+func (n *Network) Forward(x []float32, batch int, train bool) ([]float32, error) {
+	if len(n.Layers) == 0 {
+		return nil, ErrEmptyNetwork
+	}
+	cur := x
+	for i, l := range n.Layers {
+		out, err := l.Forward(cur, batch, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, l.Kind(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// TrainBatch runs one SGD iteration on a batch of inputs x with one-hot
+// labels y and returns the batch loss. It increments Iteration.
+func (n *Network) TrainBatch(x, y []float32, batch int) (float32, error) {
+	probs, err := n.Forward(x, batch, true)
+	if err != nil {
+		return 0, err
+	}
+	sm, ok := n.Layers[len(n.Layers)-1].(*Softmax)
+	if !ok {
+		return 0, ErrNoSoftmax
+	}
+	loss, delta, err := sm.CrossEntropy(probs, y, batch)
+	if err != nil {
+		return 0, err
+	}
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		delta, err = n.Layers[i].Backward(delta)
+		if err != nil {
+			return 0, fmt.Errorf("layer %d (%s) backward: %w", i, n.Layers[i].Kind(), err)
+		}
+	}
+	for _, l := range n.Layers {
+		l.Update(n.Config.LearningRate, n.Config.Momentum, n.Config.Decay)
+	}
+	n.Iteration++
+	return loss, nil
+}
+
+// Predict classifies a single sample and returns the class
+// probabilities.
+func (n *Network) Predict(x []float32) ([]float32, error) {
+	return n.Forward(x, 1, false)
+}
+
+// Classify returns the argmax class of a single sample.
+func (n *Network) Classify(x []float32) (int, error) {
+	probs, err := n.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// InputSize returns the flattened input size per sample.
+func (n *Network) InputSize() int {
+	return n.Config.Channels * n.Config.Height * n.Config.Width
+}
+
+// OutputSize returns the flattened output size per sample.
+func (n *Network) OutputSize() int {
+	if len(n.Layers) == 0 {
+		return 0
+	}
+	return n.Layers[len(n.Layers)-1].OutShape().Size()
+}
+
+// ParamBytes returns the total parameter footprint in bytes (the model
+// size reported on the Fig. 7 x-axis).
+func (n *Network) ParamBytes() int {
+	total := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			total += 4 * len(p)
+		}
+	}
+	return total
+}
+
+// NumParams returns the number of learnable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			total += len(p)
+		}
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package darknet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax is the output layer: per-sample softmax with cross-entropy
+// loss against one-hot truth vectors, matching Darknet's softmax layer
+// used by all the paper's models.
+type Softmax struct {
+	in        Shape
+	lastProbs []float32
+	lastBatch int
+}
+
+var _ Layer = (*Softmax)(nil)
+
+// NewSoftmax builds a softmax layer over the flattened input.
+func NewSoftmax(in Shape) (*Softmax, error) {
+	if in.Size() <= 0 {
+		return nil, fmt.Errorf("%w: softmax over empty volume", ErrBadConfig)
+	}
+	return &Softmax{in: in}, nil
+}
+
+// Kind implements Layer.
+func (s *Softmax) Kind() string { return "softmax" }
+
+// InShape implements Layer.
+func (s *Softmax) InShape() Shape { return s.in }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape() Shape { return Shape{C: s.in.Size(), H: 1, W: 1} }
+
+// Params implements Layer.
+func (s *Softmax) Params() [][]float32 { return nil }
+
+// Grads implements Layer.
+func (s *Softmax) Grads() [][]float32 { return nil }
+
+// Forward implements Layer: returns class probabilities.
+func (s *Softmax) Forward(x []float32, batch int, train bool) ([]float32, error) {
+	if err := checkInput(x, batch, s.in); err != nil {
+		return nil, err
+	}
+	n := s.in.Size()
+	out := make([]float32, batch*n)
+	for b := 0; b < batch; b++ {
+		row := x[b*n : (b+1)*n]
+		orow := out[b*n : (b+1)*n]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			orow[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range orow {
+			orow[i] *= inv
+		}
+	}
+	s.lastProbs = out
+	s.lastBatch = batch
+	return out, nil
+}
+
+// Backward implements Layer. With cross-entropy loss the combined
+// gradient is probs - truth, which Loss callers pass in as delta
+// directly, so Backward is the identity.
+func (s *Softmax) Backward(delta []float32) ([]float32, error) {
+	if s.lastBatch == 0 || len(delta) != s.lastBatch*s.in.Size() {
+		return nil, ErrBatchMismatch
+	}
+	dx := make([]float32, len(delta))
+	copy(dx, delta)
+	return dx, nil
+}
+
+// Update implements Layer: nothing to update.
+func (s *Softmax) Update(lr, momentum, decay float32) {}
+
+// CrossEntropy returns the mean cross-entropy loss of probs (batch x
+// classes, from Forward) against one-hot truth, plus the gradient
+// probs - truth to feed Backward.
+func (s *Softmax) CrossEntropy(probs, truth []float32, batch int) (float32, []float32, error) {
+	n := s.in.Size()
+	if len(probs) != batch*n || len(truth) != batch*n {
+		return 0, nil, fmt.Errorf("%w: probs=%d truth=%d batch=%d classes=%d",
+			ErrBadInput, len(probs), len(truth), batch, n)
+	}
+	delta := make([]float32, len(probs))
+	var loss float64
+	for i := range probs {
+		delta[i] = (probs[i] - truth[i]) / float32(batch)
+		if truth[i] > 0 {
+			p := float64(probs[i])
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss += -math.Log(p) * float64(truth[i])
+		}
+	}
+	return float32(loss / float64(batch)), delta, nil
+}

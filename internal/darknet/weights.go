@@ -1,0 +1,129 @@
+package darknet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary weight serialisation, used by the SSD checkpointing baseline
+// (paper §VI: "ocalls to fread and fwrite libC routines to read/write
+// from/to SSD"). The format is:
+//
+//	magic(8) iteration(8) layerCount(8)
+//	per layer: bufCount(8), then per buffer: len(8) + float32 data
+//
+// All integers are little-endian uint64.
+
+const weightsMagic = 0x504C4E57454948 // "PLNWEIH"
+
+// Weight-file errors.
+var (
+	ErrBadWeights      = errors.New("darknet: malformed weights file")
+	ErrWeightsMismatch = errors.New("darknet: weights do not match network architecture")
+)
+
+// SaveWeights serialises the network parameters and iteration counter.
+func (n *Network) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeU64(bw, weightsMagic); err != nil {
+		return err
+	}
+	if err := writeU64(bw, uint64(n.Iteration)); err != nil {
+		return err
+	}
+	if err := writeU64(bw, uint64(len(n.Layers))); err != nil {
+		return err
+	}
+	for _, l := range n.Layers {
+		params := l.Params()
+		if err := writeU64(bw, uint64(len(params))); err != nil {
+			return err
+		}
+		for _, p := range params {
+			if err := writeU64(bw, uint64(len(p))); err != nil {
+				return err
+			}
+			var buf [4]byte
+			for _, f := range p {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(f))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return fmt.Errorf("darknet: write weights: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameters saved with SaveWeights into a network
+// of identical architecture.
+func (n *Network) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	m, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if m != weightsMagic {
+		return fmt.Errorf("%w: bad magic %#x", ErrBadWeights, m)
+	}
+	iter, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	layers, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if int(layers) != len(n.Layers) {
+		return fmt.Errorf("%w: file has %d layers, network has %d", ErrWeightsMismatch, layers, len(n.Layers))
+	}
+	for li, l := range n.Layers {
+		params := l.Params()
+		cnt, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		if int(cnt) != len(params) {
+			return fmt.Errorf("%w: layer %d has %d buffers, file has %d", ErrWeightsMismatch, li, len(params), cnt)
+		}
+		for pi, p := range params {
+			plen, err := readU64(br)
+			if err != nil {
+				return err
+			}
+			if int(plen) != len(p) {
+				return fmt.Errorf("%w: layer %d buffer %d: len %d vs %d", ErrWeightsMismatch, li, pi, plen, len(p))
+			}
+			var buf [4]byte
+			for i := range p {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return fmt.Errorf("%w: truncated float data: %v", ErrBadWeights, err)
+				}
+				p[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+			}
+		}
+	}
+	n.Iteration = int(iter)
+	return nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("darknet: write weights: %w", err)
+	}
+	return nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadWeights, err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}

@@ -1,0 +1,223 @@
+// Package distributed implements the paper's future-work direction of
+// §VIII: "we wish to explore distributed training using PLINIUS to
+// overcome the SGX EPC limitation."
+//
+// A Cluster runs N Plinius workers, each with its own enclave, PM
+// device, Romulus heap, encrypted mirror and shard of the training
+// data — the multi-node deployment of the paper's Fig. 1. Training is
+// synchronous data-parallel with model averaging: every round each
+// worker trains locally for R iterations (mirroring to its own PM as
+// usual), then the coordinator averages the parameters across workers
+// over attested secure channels and broadcasts the merged model. Any
+// worker can crash and recover from its PM mirror mid-round without
+// the cluster losing progress.
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"plinius/internal/core"
+	"plinius/internal/mnist"
+)
+
+// Cluster coordinates data-parallel Plinius workers.
+type Cluster struct {
+	workers []*core.Framework
+	// rounds counts completed averaging rounds.
+	rounds int
+}
+
+// Cluster errors.
+var (
+	ErrNoWorkers   = errors.New("distributed: need at least one worker")
+	ErrBadWorker   = errors.New("distributed: worker index out of range")
+	ErrNotUniform  = errors.New("distributed: worker models have diverged in shape")
+	ErrShardTooBig = errors.New("distributed: more workers than samples")
+)
+
+// Config parameterises a cluster.
+type Config struct {
+	// Workers is the number of secure nodes.
+	Workers int
+	// Base is the per-worker framework configuration; every worker
+	// gets Base with a distinct seed (so local batch order differs)
+	// but the SAME model seed, making initial parameters identical —
+	// the usual data-parallel starting condition.
+	Base core.Config
+}
+
+// NewCluster builds the workers and shards the dataset across them.
+func NewCluster(cfg Config, ds *mnist.Dataset) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		return nil, ErrNoWorkers
+	}
+	if ds.N < cfg.Workers {
+		return nil, fmt.Errorf("%w: %d workers, %d samples", ErrShardTooBig, cfg.Workers, ds.N)
+	}
+	c := &Cluster{workers: make([]*core.Framework, cfg.Workers)}
+	per := ds.N / cfg.Workers
+	for i := 0; i < cfg.Workers; i++ {
+		wcfg := cfg.Base
+		// Same model seed: identical initial weights on every worker.
+		f, err := core.New(wcfg)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		start, end := i*per, (i+1)*per
+		if i == cfg.Workers-1 {
+			end = ds.N
+		}
+		shard := &mnist.Dataset{
+			Images: ds.Images[start*mnist.Rows*mnist.Cols : end*mnist.Rows*mnist.Cols],
+			Labels: ds.Labels[start:end],
+			N:      end - start,
+		}
+		if err := f.LoadDataset(shard); err != nil {
+			return nil, fmt.Errorf("worker %d shard: %w", i, err)
+		}
+		c.workers[i] = f
+	}
+	return c, nil
+}
+
+// Workers returns the number of workers.
+func (c *Cluster) Workers() int { return len(c.workers) }
+
+// Rounds returns the number of completed averaging rounds.
+func (c *Cluster) Rounds() int { return c.rounds }
+
+// Worker returns the i-th worker framework (e.g. to crash it).
+func (c *Cluster) Worker(i int) (*core.Framework, error) {
+	if i < 0 || i >= len(c.workers) {
+		return nil, fmt.Errorf("%w: %d", ErrBadWorker, i)
+	}
+	return c.workers[i], nil
+}
+
+// TrainRound trains every worker locally for itersPerRound iterations
+// (concurrently, one goroutine per secure node), then averages and
+// broadcasts the model. It returns the mean of the workers' final
+// losses.
+func (c *Cluster) TrainRound(itersPerRound int) (float32, error) {
+	if itersPerRound <= 0 {
+		return 0, errors.New("distributed: itersPerRound must be positive")
+	}
+	type outcome struct {
+		loss float32
+		err  error
+	}
+	results := make([]outcome, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *core.Framework) {
+			defer wg.Done()
+			target := w.Iteration() + itersPerRound
+			var last float32
+			err := w.Train(target, func(_ int, l float32) { last = l })
+			results[i] = outcome{loss: last, err: err}
+		}(i, w)
+	}
+	wg.Wait()
+	var sum float32
+	for i, r := range results {
+		if r.err != nil {
+			return 0, fmt.Errorf("worker %d: %w", i, r.err)
+		}
+		sum += r.loss
+	}
+	if err := c.AverageModels(); err != nil {
+		return 0, err
+	}
+	c.rounds++
+	return sum / float32(len(c.workers)), nil
+}
+
+// AverageModels merges the workers' parameters by arithmetic mean and
+// broadcasts the result, then mirrors the merged model on every worker
+// so the averaged state is itself crash-durable.
+func (c *Cluster) AverageModels() error {
+	if len(c.workers) == 1 {
+		return nil
+	}
+	ref := c.workers[0].Net
+	// Validate shape uniformity, then average in place into worker 0.
+	for wi, w := range c.workers[1:] {
+		if len(w.Net.Layers) != len(ref.Layers) {
+			return fmt.Errorf("%w: worker %d has %d layers", ErrNotUniform, wi+1, len(w.Net.Layers))
+		}
+	}
+	inv := 1 / float32(len(c.workers))
+	for li, l := range ref.Layers {
+		refParams := l.Params()
+		for pi, p := range refParams {
+			for _, w := range c.workers[1:] {
+				other := w.Net.Layers[li].Params()
+				if len(other) != len(refParams) || len(other[pi]) != len(p) {
+					return fmt.Errorf("%w: layer %d buffer %d", ErrNotUniform, li, pi)
+				}
+			}
+			for j := range p {
+				sum := p[j]
+				for _, w := range c.workers[1:] {
+					sum += w.Net.Layers[li].Params()[pi][j]
+				}
+				p[j] = sum * inv
+			}
+		}
+	}
+	// Broadcast worker 0's merged parameters and iteration counter.
+	maxIter := 0
+	for _, w := range c.workers {
+		if w.Iteration() > maxIter {
+			maxIter = w.Iteration()
+		}
+	}
+	for _, w := range c.workers {
+		for li, l := range w.Net.Layers {
+			src := ref.Layers[li].Params()
+			for pi, p := range l.Params() {
+				copy(p, src[pi])
+			}
+		}
+		w.Net.Iteration = maxIter
+		// Persist the merged model in this worker's PM mirror.
+		if w.Mirror != nil {
+			if err := w.Mirror.MirrorOut(w.Net); err != nil {
+				return fmt.Errorf("broadcast mirror: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// CrashWorker simulates a power failure on one node.
+func (c *Cluster) CrashWorker(i int) error {
+	w, err := c.Worker(i)
+	if err != nil {
+		return err
+	}
+	w.Crash()
+	return nil
+}
+
+// RecoverWorker restarts a crashed node; its model state returns to
+// the last mirrored iteration.
+func (c *Cluster) RecoverWorker(i int) error {
+	w, err := c.Worker(i)
+	if err != nil {
+		return err
+	}
+	return w.Recover(true)
+}
+
+// Infer runs secure inference on worker 0's model.
+func (c *Cluster) Infer(test *mnist.Dataset) (float64, error) {
+	return c.workers[0].Infer(test)
+}
+
+// Iteration returns worker 0's iteration counter (all workers agree
+// after an averaging round).
+func (c *Cluster) Iteration() int { return c.workers[0].Iteration() }

@@ -1,0 +1,200 @@
+package distributed
+
+import (
+	"errors"
+	"testing"
+
+	"plinius/internal/core"
+	"plinius/internal/darknet"
+	"plinius/internal/mnist"
+)
+
+func clusterConfig() Config {
+	return Config{
+		Workers: 3,
+		Base: core.Config{
+			ModelConfig: darknet.MNISTConfig(1, 4, 16),
+			PMBytes:     16 << 20,
+			Seed:        1,
+		},
+	}
+}
+
+func newTestCluster(t *testing.T, workers int, samples int) *Cluster {
+	t.Helper()
+	cfg := clusterConfig()
+	cfg.Workers = workers
+	c, err := NewCluster(cfg, mnist.Synthetic(samples, 9))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Workers: 0}, mnist.Synthetic(10, 1)); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("zero workers = %v, want ErrNoWorkers", err)
+	}
+	cfg := clusterConfig()
+	cfg.Workers = 20
+	if _, err := NewCluster(cfg, mnist.Synthetic(10, 1)); !errors.Is(err, ErrShardTooBig) {
+		t.Fatalf("oversharded = %v, want ErrShardTooBig", err)
+	}
+}
+
+func TestShardingCoversDataset(t *testing.T) {
+	c := newTestCluster(t, 3, 100)
+	total := 0
+	for i := 0; i < c.Workers(); i++ {
+		w, err := c.Worker(i)
+		if err != nil {
+			t.Fatalf("Worker(%d): %v", i, err)
+		}
+		total += w.Data.N()
+	}
+	if total != 100 {
+		t.Fatalf("shards cover %d samples, want 100", total)
+	}
+}
+
+func TestWorkersStartWithIdenticalModels(t *testing.T) {
+	c := newTestCluster(t, 2, 60)
+	a, _ := c.Worker(0)
+	b, _ := c.Worker(1)
+	pa := a.Net.Layers[0].Params()[0]
+	pb := b.Net.Layers[0].Params()[0]
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("workers initialised with different weights")
+		}
+	}
+}
+
+func TestTrainRoundAveragesAndSynchronises(t *testing.T) {
+	c := newTestCluster(t, 3, 120)
+	loss, err := c.TrainRound(4)
+	if err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+	if loss <= 0 {
+		t.Fatalf("mean loss = %f", loss)
+	}
+	if c.Rounds() != 1 {
+		t.Fatalf("Rounds = %d, want 1", c.Rounds())
+	}
+	// After averaging, every worker holds identical parameters and the
+	// same iteration counter.
+	ref, _ := c.Worker(0)
+	for i := 1; i < c.Workers(); i++ {
+		w, _ := c.Worker(i)
+		if w.Iteration() != ref.Iteration() {
+			t.Fatalf("worker %d iteration %d != %d", i, w.Iteration(), ref.Iteration())
+		}
+		for li := range ref.Net.Layers {
+			rp := ref.Net.Layers[li].Params()
+			wp := w.Net.Layers[li].Params()
+			for pi := range rp {
+				for j := range rp[pi] {
+					if rp[pi][j] != wp[pi][j] {
+						t.Fatalf("worker %d layer %d buffer %d diverged", i, li, pi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrainRoundRejectsBadIters(t *testing.T) {
+	c := newTestCluster(t, 2, 60)
+	if _, err := c.TrainRound(0); err == nil {
+		t.Fatal("zero iters accepted")
+	}
+}
+
+func TestDistributedLearns(t *testing.T) {
+	c := newTestCluster(t, 2, 200)
+	first, err := c.TrainRound(3)
+	if err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+	var last float32
+	for r := 0; r < 6; r++ {
+		last, err = c.TrainRound(3)
+		if err != nil {
+			t.Fatalf("TrainRound: %v", err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("distributed training did not learn: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestWorkerCrashRecoveryMidTraining(t *testing.T) {
+	c := newTestCluster(t, 2, 120)
+	if _, err := c.TrainRound(3); err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+	iterBefore := c.Iteration()
+
+	if err := c.CrashWorker(1); err != nil {
+		t.Fatalf("CrashWorker: %v", err)
+	}
+	w1, _ := c.Worker(1)
+	if !w1.Crashed() {
+		t.Fatal("worker 1 not crashed")
+	}
+	if err := c.RecoverWorker(1); err != nil {
+		t.Fatalf("RecoverWorker: %v", err)
+	}
+	// The averaging round mirrored the merged model, so the recovered
+	// worker resumes at the synchronised iteration.
+	if w1.Iteration() != iterBefore {
+		t.Fatalf("recovered worker at iteration %d, want %d", w1.Iteration(), iterBefore)
+	}
+	// The cluster keeps training.
+	if _, err := c.TrainRound(2); err != nil {
+		t.Fatalf("TrainRound after recovery: %v", err)
+	}
+	if c.Iteration() != iterBefore+2 {
+		t.Fatalf("cluster iteration %d, want %d", c.Iteration(), iterBefore+2)
+	}
+}
+
+func TestWorkerIndexValidation(t *testing.T) {
+	c := newTestCluster(t, 2, 60)
+	if _, err := c.Worker(-1); !errors.Is(err, ErrBadWorker) {
+		t.Fatalf("Worker(-1) = %v, want ErrBadWorker", err)
+	}
+	if _, err := c.Worker(2); !errors.Is(err, ErrBadWorker) {
+		t.Fatalf("Worker(2) = %v, want ErrBadWorker", err)
+	}
+	if err := c.CrashWorker(5); !errors.Is(err, ErrBadWorker) {
+		t.Fatalf("CrashWorker(5) = %v, want ErrBadWorker", err)
+	}
+}
+
+func TestSingleWorkerClusterSkipsAveraging(t *testing.T) {
+	c := newTestCluster(t, 1, 60)
+	if _, err := c.TrainRound(2); err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+	if c.Iteration() != 2 {
+		t.Fatalf("iteration = %d, want 2", c.Iteration())
+	}
+}
+
+func TestDistributedInference(t *testing.T) {
+	c := newTestCluster(t, 2, 200)
+	for r := 0; r < 4; r++ {
+		if _, err := c.TrainRound(4); err != nil {
+			t.Fatalf("TrainRound: %v", err)
+		}
+	}
+	acc, err := c.Infer(mnist.Synthetic(50, 33))
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy out of range: %f", acc)
+	}
+}

@@ -1,0 +1,151 @@
+package enclave
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Remote attestation and secure-channel establishment (paper Fig. 5,
+// steps 2-3): the model/dataset owner verifies the enclave's identity,
+// derives a shared secret via ECDH, and provisions the data-encryption
+// key over the resulting channel. The Intel attestation service is
+// simulated by an HMAC keyed with a platform key that both the (honest)
+// platform and the verifier know; the untrusted host between them never
+// sees key material.
+
+// Measurement is the enclave identity (MRENCLAVE analogue): a SHA-256
+// hash over the trusted code identity.
+type Measurement [32]byte
+
+// PliniusMeasurement returns the measurement of the Plinius trusted
+// runtime. In real SGX this is computed by the CPU at enclave build;
+// here it is a constant hash over the trusted-component names.
+func PliniusMeasurement() Measurement {
+	return Measurement(sha256.Sum256([]byte("plinius/lib-sgx-darknet+lib-sgx-romulus+mirroring")))
+}
+
+// Quote is the attestation evidence the enclave produces: its measurement
+// and ephemeral ECDH public key, authenticated with the platform key.
+type Quote struct {
+	Measurement Measurement
+	PublicKey   []byte
+	MAC         [32]byte
+}
+
+// Attestation errors.
+var (
+	ErrQuoteForged   = errors.New("enclave: quote MAC verification failed")
+	ErrWrongEnclave  = errors.New("enclave: measurement mismatch")
+	ErrNoAttestation = errors.New("enclave: no attestation session")
+)
+
+// platformKey stands in for the provisioning key shared between the SGX
+// platform and the attestation service. A real deployment derives it in
+// hardware; the simulation fixes it so verifier and enclave agree.
+var platformKey = sha256.Sum256([]byte("plinius-simulated-sgx-platform-provisioning-key"))
+
+func quoteMAC(m Measurement, pub []byte) [32]byte {
+	h := hmac.New(sha256.New, platformKey[:])
+	h.Write(m[:])
+	h.Write(pub)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// AttestationSession holds the enclave side of an in-progress remote
+// attestation.
+type AttestationSession struct {
+	priv *ecdh.PrivateKey
+}
+
+// BeginAttestation generates the enclave's ephemeral key pair and quote.
+func (e *Enclave) BeginAttestation() (*AttestationSession, Quote, error) {
+	seed := make([]byte, 64)
+	e.ReadRand(seed)
+	priv, err := ecdh.P256().GenerateKey(bytes.NewReader(seed))
+	if err != nil {
+		return nil, Quote{}, fmt.Errorf("attestation keygen: %w", err)
+	}
+	pub := priv.PublicKey().Bytes()
+	q := Quote{
+		Measurement: PliniusMeasurement(),
+		PublicKey:   pub,
+		MAC:         quoteMAC(PliniusMeasurement(), pub),
+	}
+	return &AttestationSession{priv: priv}, q, nil
+}
+
+// CompleteAttestation derives the channel key from the owner's public key.
+func (s *AttestationSession) CompleteAttestation(ownerPub []byte) ([32]byte, error) {
+	var key [32]byte
+	if s == nil || s.priv == nil {
+		return key, ErrNoAttestation
+	}
+	pub, err := ecdh.P256().NewPublicKey(ownerPub)
+	if err != nil {
+		return key, fmt.Errorf("owner public key: %w", err)
+	}
+	secret, err := s.priv.ECDH(pub)
+	if err != nil {
+		return key, fmt.Errorf("ecdh: %w", err)
+	}
+	return deriveChannelKey(secret), nil
+}
+
+// Owner is the model/dataset owner's side of attestation (runs on the
+// owner's trusted machine, not on the untrusted cloud host).
+type Owner struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewOwner creates an owner with an ephemeral ECDH key from rng.
+func NewOwner(rng io.Reader) (*Owner, error) {
+	priv, err := ecdh.P256().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("owner keygen: %w", err)
+	}
+	return &Owner{priv: priv}, nil
+}
+
+// PublicKey returns the owner's ECDH public key bytes.
+func (o *Owner) PublicKey() []byte { return o.priv.PublicKey().Bytes() }
+
+// VerifyQuote checks the quote's authenticity and enclave identity, then
+// derives the shared channel key. It returns ErrQuoteForged for a bad MAC
+// and ErrWrongEnclave for an unexpected measurement.
+func (o *Owner) VerifyQuote(q Quote, want Measurement) ([32]byte, error) {
+	var key [32]byte
+	expect := quoteMAC(q.Measurement, q.PublicKey)
+	if !hmac.Equal(expect[:], q.MAC[:]) {
+		return key, ErrQuoteForged
+	}
+	if q.Measurement != want {
+		return key, ErrWrongEnclave
+	}
+	pub, err := ecdh.P256().NewPublicKey(q.PublicKey)
+	if err != nil {
+		return key, fmt.Errorf("enclave public key: %w", err)
+	}
+	secret, err := o.priv.ECDH(pub)
+	if err != nil {
+		return key, fmt.Errorf("ecdh: %w", err)
+	}
+	return deriveChannelKey(secret), nil
+}
+
+// deriveChannelKey applies a KDF (SHA-256 with a context label) to the
+// raw ECDH secret.
+func deriveChannelKey(secret []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("plinius-ra-channel-v1"))
+	h.Write(secret)
+	var key [32]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}

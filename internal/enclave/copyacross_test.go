@@ -1,0 +1,82 @@
+package enclave
+
+import (
+	"testing"
+	"time"
+
+	"plinius/internal/simclock"
+)
+
+func TestCopyAcrossChargesPerLine(t *testing.T) {
+	clk := simclock.New()
+	e := New(SGXEmlPMProfile(), WithClock(clk), WithSeed(1))
+	e.CopyAcross(256) // 4 cache lines
+	want := 4 * e.Profile().EPCCopyPerLine
+	if got := clk.Modeled(); got != want {
+		t.Fatalf("CopyAcross(256) charged %v, want %v", got, want)
+	}
+}
+
+func TestCopyAcrossRoundsUpPartialLines(t *testing.T) {
+	clk := simclock.New()
+	e := New(SGXEmlPMProfile(), WithClock(clk), WithSeed(1))
+	e.CopyAcross(65) // 2 lines
+	want := 2 * e.Profile().EPCCopyPerLine
+	if got := clk.Modeled(); got != want {
+		t.Fatalf("CopyAcross(65) charged %v, want %v", got, want)
+	}
+}
+
+func TestCopyAcrossFreeWithoutHardwareSGX(t *testing.T) {
+	clk := simclock.New()
+	e := New(EmlSGXPMProfile(), WithClock(clk), WithSeed(1))
+	e.CopyAcross(1 << 20)
+	if got := clk.Modeled(); got != 0 {
+		t.Fatalf("simulation-mode CopyAcross charged %v", got)
+	}
+}
+
+func TestCopyAcrossIgnoresNonPositive(t *testing.T) {
+	clk := simclock.New()
+	e := New(SGXEmlPMProfile(), WithClock(clk), WithSeed(1))
+	e.CopyAcross(0)
+	e.CopyAcross(-5)
+	if got := clk.Modeled(); got != 0 {
+		t.Fatalf("degenerate CopyAcross charged %v", got)
+	}
+}
+
+func TestTouchScalesWithExcessRatio(t *testing.T) {
+	// The paging cost for the same access grows as the footprint grows
+	// further past the EPC limit.
+	costAt := func(footprint int) time.Duration {
+		clk := simclock.New()
+		e := New(SGXEmlPMProfile(), WithClock(clk), WithSeed(1))
+		if err := e.Reserve(footprint); err != nil {
+			t.Fatalf("Reserve: %v", err)
+		}
+		e.Touch(32 << 20)
+		return clk.Modeled()
+	}
+	just := costAt(UsableEPC + (5 << 20))
+	far := costAt(UsableEPC + (100 << 20))
+	if !(far > just && just > 0) {
+		t.Fatalf("paging cost not monotone in excess: just=%v far=%v", just, far)
+	}
+}
+
+func TestReserveRespectsHeapLimit(t *testing.T) {
+	e := New(SGXEmlPMProfile(), WithSeed(1), WithHeapLimit(1<<20))
+	if err := e.Reserve(1 << 21); err == nil {
+		t.Fatal("over-limit Reserve succeeded")
+	}
+	if err := e.Reserve(0); err == nil {
+		t.Fatal("zero Reserve succeeded")
+	}
+	if err := e.Reserve(512 << 10); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if got := e.Footprint(); got != 512<<10 {
+		t.Fatalf("Footprint = %d", got)
+	}
+}

@@ -1,0 +1,304 @@
+// Package enclave simulates an Intel SGX enclave for the Plinius
+// reproduction.
+//
+// No Go SGX SDK exists, so the enclave is modeled as (a) an isolation
+// boundary — plaintext model parameters and keys live only in memory
+// accounted to an Enclave, and everything that leaves goes through the
+// encryption engine — and (b) a cost model with the three SGX effects the
+// paper measures: ecall/ocall transition latency (~13,100 cycles), the
+// enclave page cache (EPC) capacity of 128 MB with 93.5 MB usable, and
+// kernel page-swapping overhead once the enclave's working set exceeds
+// that limit (the knee in Fig. 7 and Table I).
+//
+// The package also provides SGX-style sealing and a remote-attestation
+// handshake (attest.go) used to provision the data-encryption key, as in
+// the paper's Fig. 5 workflow.
+package enclave
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"plinius/internal/simclock"
+)
+
+// EPC geometry from the paper (§II): 128 MB reserved, 93.5 MB usable.
+const (
+	EPCSize      = 128 << 20
+	UsableEPC    = 93*(1<<20) + 512<<10 // 93.5 MiB
+	PageSize     = 4096
+	DefaultHeap  = 8 << 30 // 8 GB max heap (§VI experimental setup)
+	DefaultStack = 8 << 20 // 8 MB stack
+)
+
+// Profile models the SGX-related costs of a host machine.
+type Profile struct {
+	// Name identifies the machine, e.g. "sgx-emlPM".
+	Name string
+	// CPUGHz converts cycle counts to durations.
+	CPUGHz float64
+	// TransitionCycles is the cost of one ecall or ocall boundary
+	// crossing (enter + exit averaged), ~13,100 cycles per [39].
+	TransitionCycles int
+	// PageSwapCost is the kernel driver cost of evicting one EPC page
+	// and loading its replacement (EWB + ELDU round trip).
+	PageSwapCost time.Duration
+	// EPCCopyPerLine is the extra cost of moving one 64 B cache line
+	// INTO the enclave (memory-encryption-engine decrypt + integrity
+	// check on every line entering the EPC; loads stall on it, which is
+	// why the paper's restores are read-dominated on real SGX).
+	// Outbound writes are posted and charged nothing here.
+	EPCCopyPerLine time.Duration
+	// HardwareSGX is false when SGX runs in simulation mode (the
+	// emlSGX-PM server): transitions and paging then cost nothing.
+	HardwareSGX bool
+}
+
+// SGXEmlPMProfile returns the sgx-emlPM server: real SGX (Xeon E3-1270 @
+// 3.8 GHz), PM emulated by a ramdisk.
+func SGXEmlPMProfile() Profile {
+	return Profile{
+		Name:             "sgx-emlPM",
+		CPUGHz:           3.8,
+		TransitionCycles: 13100,
+		PageSwapCost:     12 * time.Microsecond,
+		EPCCopyPerLine:   85 * time.Nanosecond,
+		HardwareSGX:      true,
+	}
+}
+
+// EmlSGXPMProfile returns the emlSGX-PM server: SGX in simulation mode
+// (Xeon Gold 5215 @ 2.5 GHz), real Optane PM.
+func EmlSGXPMProfile() Profile {
+	return Profile{
+		Name:             "emlSGX-PM",
+		CPUGHz:           2.5,
+		TransitionCycles: 13100,
+		PageSwapCost:     12 * time.Microsecond,
+		HardwareSGX:      false,
+	}
+}
+
+// TransitionCost returns the modeled duration of one enclave boundary
+// crossing.
+func (p Profile) TransitionCost() time.Duration {
+	if !p.HardwareSGX || p.CPUGHz <= 0 {
+		return 0
+	}
+	return time.Duration(float64(p.TransitionCycles) / p.CPUGHz * float64(time.Nanosecond))
+}
+
+// Errors returned by Enclave operations.
+var (
+	ErrHeapExhausted = errors.New("enclave: heap limit exceeded")
+	ErrBadAlloc      = errors.New("enclave: allocation size must be positive")
+	ErrFreeTooMuch   = errors.New("enclave: free exceeds allocated footprint")
+)
+
+// Stats counts enclave activity.
+type Stats struct {
+	Ecalls    uint64
+	Ocalls    uint64
+	PageSwaps uint64
+	PeakBytes int
+}
+
+// Enclave is a simulated SGX enclave instance.
+type Enclave struct {
+	mu        sync.Mutex
+	prof      Profile
+	clock     *simclock.Clock
+	heapLimit int
+	allocated int
+	rng       *rand.Rand
+	sealKey   [16]byte
+	stats     Stats
+}
+
+// Option configures an Enclave.
+type Option func(*Enclave)
+
+// WithClock attaches a shared cost-accounting clock.
+func WithClock(c *simclock.Clock) Option {
+	return func(e *Enclave) { e.clock = c }
+}
+
+// WithHeapLimit overrides the maximum enclave heap (default 8 GB).
+func WithHeapLimit(n int) Option {
+	return func(e *Enclave) { e.heapLimit = n }
+}
+
+// WithSeed seeds the enclave RNG (sgx_read_rand) deterministically for
+// tests. Production callers omit it.
+func WithSeed(seed int64) Option {
+	return func(e *Enclave) { e.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates an enclave on a machine with the given profile.
+func New(prof Profile, opts ...Option) *Enclave {
+	e := &Enclave{
+		prof:      prof,
+		heapLimit: DefaultHeap,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.clock == nil {
+		e.clock = simclock.New()
+	}
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	// Derive a per-enclave sealing key from the RNG, standing in for the
+	// CPU's EGETKEY-derived seal key.
+	e.rng.Read(e.sealKey[:])
+	return e
+}
+
+// Profile returns the machine profile.
+func (e *Enclave) Profile() Profile { return e.prof }
+
+// Clock returns the clock charged by this enclave.
+func (e *Enclave) Clock() *simclock.Clock { return e.clock }
+
+// Ecall crosses into the enclave, charges the transition cost, and runs
+// fn (the trusted function body).
+func (e *Enclave) Ecall(fn func() error) error {
+	e.mu.Lock()
+	e.stats.Ecalls++
+	e.mu.Unlock()
+	e.clock.Advance(e.prof.TransitionCost())
+	return fn()
+}
+
+// Ocall crosses out of the enclave, charges the transition cost, and runs
+// fn (the untrusted helper body).
+func (e *Enclave) Ocall(fn func() error) error {
+	e.mu.Lock()
+	e.stats.Ocalls++
+	e.mu.Unlock()
+	e.clock.Advance(e.prof.TransitionCost())
+	return fn()
+}
+
+// Alloc registers n bytes of enclave heap and returns a zeroed buffer
+// representing EPC-backed memory. The buffer must be released with Free.
+func (e *Enclave) Alloc(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadAlloc, n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.allocated+n > e.heapLimit {
+		return nil, fmt.Errorf("%w: %d + %d > %d", ErrHeapExhausted, e.allocated, n, e.heapLimit)
+	}
+	e.allocated += n
+	if e.allocated > e.stats.PeakBytes {
+		e.stats.PeakBytes = e.allocated
+	}
+	return make([]byte, n), nil
+}
+
+// Reserve registers n bytes of enclave heap without returning a buffer,
+// for callers whose data lives in typed slices (e.g. model weights) but
+// must still count toward the EPC working set. Release it with Free.
+func (e *Enclave) Reserve(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadAlloc, n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.allocated+n > e.heapLimit {
+		return fmt.Errorf("%w: %d + %d > %d", ErrHeapExhausted, e.allocated, n, e.heapLimit)
+	}
+	e.allocated += n
+	if e.allocated > e.stats.PeakBytes {
+		e.stats.PeakBytes = e.allocated
+	}
+	return nil
+}
+
+// Free releases n bytes of enclave heap previously obtained with Alloc.
+func (e *Enclave) Free(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 || n > e.allocated {
+		return fmt.Errorf("%w: free %d of %d", ErrFreeTooMuch, n, e.allocated)
+	}
+	e.allocated -= n
+	return nil
+}
+
+// Footprint returns the current enclave memory footprint in bytes.
+func (e *Enclave) Footprint() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.allocated
+}
+
+// OverEPC reports whether the working set exceeds the usable EPC.
+func (e *Enclave) OverEPC() bool { return e.Footprint() > UsableEPC }
+
+// Touch charges the EPC paging cost of accessing n bytes of enclave
+// memory. Below the usable EPC limit this is free; beyond it, the
+// probability that a touched page has been evicted grows with the excess
+// ratio (1 - usable/footprint), and each fault pays PageSwapCost. This is
+// the mechanism behind the paper's Table Ia shift (encryption 66% -> 92%
+// of save latency past the EPC limit).
+func (e *Enclave) Touch(n int) {
+	if n <= 0 || !e.prof.HardwareSGX {
+		return
+	}
+	e.mu.Lock()
+	footprint := e.allocated
+	e.mu.Unlock()
+	if footprint <= UsableEPC {
+		return
+	}
+	missRatio := 1 - float64(UsableEPC)/float64(footprint)
+	pages := (n + PageSize - 1) / PageSize
+	faults := uint64(float64(pages) * missRatio)
+	if faults == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.stats.PageSwaps += faults
+	e.mu.Unlock()
+	e.clock.Advance(time.Duration(faults) * e.prof.PageSwapCost)
+}
+
+// CopyAcross charges the memory-encryption-engine cost of moving n bytes
+// across the enclave boundary (e.g. memcpy of a sealed model between PM
+// and enclave memory). Free without hardware SGX.
+func (e *Enclave) CopyAcross(n int) {
+	if n <= 0 || !e.prof.HardwareSGX || e.prof.EPCCopyPerLine <= 0 {
+		return
+	}
+	lines := (n + 63) / 64
+	e.clock.Advance(time.Duration(lines) * e.prof.EPCCopyPerLine)
+}
+
+// ReadRand fills b with random bytes from the enclave's RNG, standing in
+// for sgx_read_rand.
+func (e *Enclave) ReadRand(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rng.Read(b)
+}
+
+// Stats returns a copy of the activity counters.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// StatsReset zeroes the activity counters (footprint is preserved).
+func (e *Enclave) StatsReset() {
+	e.mu.Lock()
+	e.stats = Stats{PeakBytes: e.allocated}
+	e.mu.Unlock()
+}

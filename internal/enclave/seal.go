@@ -1,0 +1,56 @@
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+)
+
+// SGX-style sealing: encrypt data under a key derived from the enclave
+// identity so it can be stored outside the enclave and recovered only by
+// the same enclave (paper §IV: "the encryption key ... can be securely
+// sealed by the enclave for future use").
+
+// ErrSealCorrupt is returned when unsealing fails authentication.
+var ErrSealCorrupt = errors.New("enclave: sealed blob failed authentication")
+
+const sealIVLen = 12
+
+// Seal encrypts plaintext under the enclave's seal key using AES-GCM.
+// The output layout is IV(12) || ciphertext || tag(16).
+func (e *Enclave) Seal(plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(e.sealKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("seal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("seal gcm: %w", err)
+	}
+	iv := make([]byte, sealIVLen)
+	e.ReadRand(iv)
+	out := make([]byte, 0, sealIVLen+len(plaintext)+gcm.Overhead())
+	out = append(out, iv...)
+	return gcm.Seal(out, iv, plaintext, nil), nil
+}
+
+// Unseal decrypts a blob produced by Seal on the same enclave.
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	block, err := aes.NewCipher(e.sealKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("unseal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("unseal gcm: %w", err)
+	}
+	if len(blob) < sealIVLen+gcm.Overhead() {
+		return nil, ErrSealCorrupt
+	}
+	pt, err := gcm.Open(nil, blob[:sealIVLen], blob[sealIVLen:], nil)
+	if err != nil {
+		return nil, ErrSealCorrupt
+	}
+	return pt, nil
+}

@@ -1,0 +1,293 @@
+// Package engine implements the Plinius encryption engine (paper §IV):
+// in-enclave AES-GCM-128 encryption and decryption of model parameters
+// mirrored to persistent memory and of training-data batches read from
+// PM.
+//
+// Buffer layout matches the paper: every sealed buffer carries a random
+// 12-byte initialisation vector and a 16-byte message authentication
+// code, 28 bytes of metadata per encrypted parameter buffer
+// (IV ‖ ciphertext ‖ MAC). Keys are 128-bit and are provisioned via the
+// remote-attestation secure channel (WrapKey/UnwrapKey) or generated in
+// the enclave.
+package engine
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"plinius/internal/enclave"
+)
+
+// Sizes of the AES-GCM-128 scheme used throughout Plinius.
+const (
+	KeySize  = 16
+	IVSize   = 12
+	TagSize  = 16
+	Overhead = IVSize + TagSize // 28 B per sealed buffer (§VI CPU/memory overhead)
+)
+
+// Errors returned by the engine.
+var (
+	ErrAuth     = errors.New("engine: authentication failed")
+	ErrTooShort = errors.New("engine: sealed buffer too short")
+	ErrBadKey   = errors.New("engine: key must be 16 bytes")
+)
+
+// Engine seals and opens buffers under one 128-bit data key.
+//
+// The *Scratch methods reuse internal buffers to avoid garbage on the
+// hot mirroring path; like the Plinius training loop itself (§VI: "a
+// fairly intensive single-threaded application"), they are not safe for
+// concurrent use. The plain Seal/Open methods are.
+type Engine struct {
+	aead cipher.AEAD
+	rng  io.Reader
+	encl *enclave.Enclave
+
+	plainScratch  []byte
+	sealedScratch []byte
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithRand sets the IV source. Inside Plinius this is the enclave RNG
+// (sgx_read_rand); the default is the enclave passed via WithEnclave, or
+// a panic-free zero reader is never used — New requires one of the two.
+func WithRand(r io.Reader) Option {
+	return func(e *Engine) { e.rng = r }
+}
+
+// WithEnclave binds the engine to an enclave: IVs come from the enclave
+// RNG and every seal/open charges the EPC paging cost of touching its
+// buffers (the dominant save-latency term beyond the EPC limit,
+// Table Ia).
+func WithEnclave(encl *enclave.Enclave) Option {
+	return func(e *Engine) { e.encl = encl }
+}
+
+// enclaveRand adapts enclave.ReadRand to io.Reader.
+type enclaveRand struct{ e *enclave.Enclave }
+
+func (r enclaveRand) Read(p []byte) (int, error) {
+	r.e.ReadRand(p)
+	return len(p), nil
+}
+
+// New creates an engine for the given 128-bit key.
+func New(key []byte, opts ...Option) (*Engine, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("%w: got %d", ErrBadKey, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("engine cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("engine gcm: %w", err)
+	}
+	e := &Engine{aead: aead}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.rng == nil {
+		if e.encl == nil {
+			return nil, errors.New("engine: need WithRand or WithEnclave for IV generation")
+		}
+		e.rng = enclaveRand{e.encl}
+	}
+	return e, nil
+}
+
+// SealedLen returns the sealed size of an n-byte plaintext.
+func SealedLen(n int) int { return n + Overhead }
+
+// PlainLen returns the plaintext size of an n-byte sealed buffer, or an
+// error if the buffer cannot hold the metadata.
+func PlainLen(n int) (int, error) {
+	if n < Overhead {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooShort, n)
+	}
+	return n - Overhead, nil
+}
+
+// Seal encrypts plaintext into IV ‖ ciphertext ‖ MAC with a fresh random
+// IV, charging EPC paging for the touched bytes when enclave-bound.
+func (e *Engine) Seal(plaintext []byte) ([]byte, error) {
+	out := make([]byte, IVSize, SealedLen(len(plaintext)))
+	if _, err := io.ReadFull(e.rng, out[:IVSize]); err != nil {
+		return nil, fmt.Errorf("engine iv: %w", err)
+	}
+	if e.encl != nil {
+		e.encl.Touch(len(plaintext) + SealedLen(len(plaintext)))
+	}
+	return e.aead.Seal(out, out[:IVSize], plaintext, nil), nil
+}
+
+// Open authenticates and decrypts a buffer produced by Seal.
+func (e *Engine) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < Overhead {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(sealed))
+	}
+	if e.encl != nil {
+		e.encl.Touch(2*len(sealed) - Overhead)
+	}
+	pt, err := e.aead.Open(nil, sealed[:IVSize], sealed[IVSize:], nil)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// SealFloats encrypts a float32 vector (model weights/biases) in
+// little-endian IEEE-754 encoding.
+func (e *Engine) SealFloats(v []float32) ([]byte, error) {
+	return e.Seal(FloatsToBytes(v))
+}
+
+// OpenFloats decrypts a buffer produced by SealFloats.
+func (e *Engine) OpenFloats(sealed []byte) ([]float32, error) {
+	pt, err := e.Open(sealed)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloats(pt)
+}
+
+func (e *Engine) growPlain(n int) []byte {
+	if cap(e.plainScratch) < n {
+		e.plainScratch = make([]byte, n)
+	}
+	return e.plainScratch[:n]
+}
+
+func (e *Engine) growSealed(n int) []byte {
+	if cap(e.sealedScratch) < n {
+		e.sealedScratch = make([]byte, n)
+	}
+	return e.sealedScratch[:n]
+}
+
+// SealFloatsScratch is SealFloats without allocation: the returned
+// slice aliases an internal buffer and is only valid until the next
+// *Scratch call. Single-goroutine use only.
+func (e *Engine) SealFloatsScratch(v []float32) ([]byte, error) {
+	plain := e.growPlain(4 * len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(plain[4*i:], math.Float32bits(f))
+	}
+	out := e.growSealed(SealedLen(len(plain)))[:IVSize]
+	if _, err := io.ReadFull(e.rng, out[:IVSize]); err != nil {
+		return nil, fmt.Errorf("engine iv: %w", err)
+	}
+	if e.encl != nil {
+		e.encl.Touch(len(plain) + SealedLen(len(plain)))
+	}
+	return e.aead.Seal(out, out[:IVSize], plain, nil), nil
+}
+
+// OpenFloatsInto authenticates and decrypts sealed into dst without
+// allocating. Single-goroutine use only.
+func (e *Engine) OpenFloatsInto(dst []float32, sealed []byte) error {
+	if len(sealed) < Overhead {
+		return fmt.Errorf("%w: %d bytes", ErrTooShort, len(sealed))
+	}
+	if e.encl != nil {
+		e.encl.Touch(2*len(sealed) - Overhead)
+	}
+	plain, err := e.aead.Open(e.growPlain(len(sealed))[:0], sealed[:IVSize], sealed[IVSize:], nil)
+	if err != nil {
+		return ErrAuth
+	}
+	if len(plain) != 4*len(dst) {
+		return fmt.Errorf("engine: decrypted %d bytes for %d floats", len(plain), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(plain[4*i:]))
+	}
+	return nil
+}
+
+// FloatsToBytes encodes a float32 vector little-endian.
+func FloatsToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(f))
+	}
+	return out
+}
+
+// BytesToFloats decodes a little-endian float32 vector.
+func BytesToFloats(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("engine: float buffer length %d not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// GenerateKey produces a fresh 128-bit data key from rng (in Plinius,
+// the enclave RNG, when training data arrives unencrypted).
+func GenerateKey(rng io.Reader) ([]byte, error) {
+	key := make([]byte, KeySize)
+	if _, err := io.ReadFull(rng, key); err != nil {
+		return nil, fmt.Errorf("engine keygen: %w", err)
+	}
+	return key, nil
+}
+
+// WrapKey encrypts a 128-bit data key under the remote-attestation
+// channel key for provisioning to the enclave (Fig. 5, step 3).
+func WrapKey(channelKey [32]byte, dataKey []byte, rng io.Reader) ([]byte, error) {
+	if len(dataKey) != KeySize {
+		return nil, fmt.Errorf("%w: got %d", ErrBadKey, len(dataKey))
+	}
+	block, err := aes.NewCipher(channelKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("wrap cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("wrap gcm: %w", err)
+	}
+	iv := make([]byte, IVSize)
+	if _, err := io.ReadFull(rng, iv); err != nil {
+		return nil, fmt.Errorf("wrap iv: %w", err)
+	}
+	out := make([]byte, 0, IVSize+KeySize+TagSize)
+	out = append(out, iv...)
+	return aead.Seal(out, iv, dataKey, nil), nil
+}
+
+// UnwrapKey recovers a data key wrapped with WrapKey; it runs inside the
+// enclave after attestation.
+func UnwrapKey(channelKey [32]byte, wrapped []byte) ([]byte, error) {
+	if len(wrapped) < Overhead {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(wrapped))
+	}
+	block, err := aes.NewCipher(channelKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("unwrap cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("unwrap gcm: %w", err)
+	}
+	key, err := aead.Open(nil, wrapped[:IVSize], wrapped[IVSize:], nil)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("%w: unwrapped %d bytes", ErrBadKey, len(key))
+	}
+	return key, nil
+}

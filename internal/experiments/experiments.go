@@ -1,0 +1,29 @@
+// Package experiments regenerates every table and figure of the
+// Plinius paper's evaluation (§VI) on the emulated substrates. Each
+// RunFigN/RunTableN function returns structured results; the Print
+// helpers render them in the shape the paper reports. cmd/plinius-bench
+// and the repository's benchmarks are thin wrappers over this package.
+//
+// Absolute numbers come from the cost models calibrated in DESIGN.md;
+// EXPERIMENTS.md records paper-vs-measured shape for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// mb converts a size in bytes to whole mebibytes for display.
+func mbOf(bytes int) float64 { return float64(bytes) / (1 << 20) }
+
+// ms renders a duration in milliseconds with 2 decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// newTable returns a tabwriter for aligned experiment output.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"plinius/internal/pm"
+	"plinius/internal/romulus"
+)
+
+// Fig6Point is one SPS measurement.
+type Fig6Point struct {
+	Env        string
+	FlushKind  pm.FlushKind
+	SwapsPerTx int
+	SwapsPerUs float64
+}
+
+// Fig6Result holds the SPS benchmark grid (paper Fig. 6): native vs
+// SGX-Romulus vs Romulus-in-SCONE, for clflush+nop and
+// clflushopt+sfence, across transaction sizes.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// RunFig6 runs the SPS grid on the sgx-emlPM machine model (ramdisk PM,
+// the paper's Fig. 6 setup). txPerPoint transactions are executed per
+// grid point on a 10 MB persistent array.
+func RunFig6(swapsPerTx []int, txPerPoint int) (Fig6Result, error) {
+	if len(swapsPerTx) == 0 {
+		swapsPerTx = []int{2, 8, 32, 64, 128, 512, 1024, 2048}
+	}
+	if txPerPoint <= 0 {
+		txPerPoint = 10
+	}
+	envs := []romulus.Env{romulus.NativeEnv(), romulus.SGXEnv(), romulus.SconeEnv()}
+	kinds := []pm.FlushKind{pm.FlushClflush, pm.FlushClflushOpt}
+	var res Fig6Result
+	for _, kind := range kinds {
+		for _, env := range envs {
+			for _, sw := range swapsPerTx {
+				dev, err := pm.New(32<<20, pm.WithProfile(pm.RamdiskProfile()))
+				if err != nil {
+					return Fig6Result{}, err
+				}
+				r, err := romulus.Open(dev, romulus.WithEnv(env), romulus.WithFlushKind(kind))
+				if err != nil {
+					return Fig6Result{}, err
+				}
+				sps, err := romulus.RunSPS(r, romulus.SPSConfig{
+					ArrayBytes:   10 << 20,
+					SwapsPerTx:   sw,
+					Transactions: txPerPoint,
+					Seed:         42,
+				})
+				if err != nil {
+					return Fig6Result{}, fmt.Errorf("fig6 %s/%s/%d: %w", env.Name, kind, sw, err)
+				}
+				res.Points = append(res.Points, Fig6Point{
+					Env:        env.Name,
+					FlushKind:  kind,
+					SwapsPerTx: sw,
+					SwapsPerUs: sps.SwapsPerUs,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the two Fig. 6 panels.
+func (r Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 6 — SPS benchmark (swaps/µs), 10 MB persistent array")
+	for _, kind := range []pm.FlushKind{pm.FlushClflush, pm.FlushClflushOpt} {
+		fence := "NOP"
+		if kind != pm.FlushClflush {
+			fence = "SFENCE"
+		}
+		fmt.Fprintf(w, "\n%s + %s\n", kind, fence)
+		tw := newTable(w)
+		fmt.Fprintln(tw, "swaps/tx\tnative\tsgx-romulus\tscone-romulus")
+		bySize := map[int][3]float64{}
+		order := []string{"native", "sgx-romulus", "scone-romulus"}
+		for _, p := range r.Points {
+			if p.FlushKind != kind {
+				continue
+			}
+			row := bySize[p.SwapsPerTx]
+			for i, name := range order {
+				if p.Env == name {
+					row[i] = p.SwapsPerUs
+				}
+			}
+			bySize[p.SwapsPerTx] = row
+		}
+		var sizes []int
+		for _, p := range r.Points {
+			if p.FlushKind == kind && p.Env == "native" {
+				sizes = append(sizes, p.SwapsPerTx)
+			}
+		}
+		for _, sw := range sizes {
+			row := bySize[sw]
+			fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\n", sw, row[0], row[1], row[2])
+		}
+		tw.Flush()
+	}
+}

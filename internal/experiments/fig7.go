@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"plinius/internal/core"
+	"plinius/internal/enclave"
+)
+
+// Fig7Row is one model-size point of the Fig. 7 comparison: PM
+// mirroring vs SSD checkpointing, saves and restores, with per-step
+// breakdowns.
+type Fig7Row struct {
+	TargetMB      int
+	ActualBytes   int
+	BeyondEPC     bool
+	MirrorSave    core.StepTiming
+	MirrorRestore core.StepTiming
+	SSDSave       core.StepTiming
+	SSDRestore    core.StepTiming
+}
+
+// Fig7Result holds one server's sweep.
+type Fig7Result struct {
+	Server string
+	Rows   []Fig7Row
+}
+
+// RunFig7 sweeps model sizes (in MB) on one server profile, measuring
+// each save/restore reps times and keeping the mean.
+func RunFig7(server core.ServerProfile, sizesMB []int, reps int, seed int64) (Fig7Result, error) {
+	if len(sizesMB) == 0 {
+		sizesMB = []int{10, 22, 33, 44, 56, 67, 78, 89, 100}
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	res := Fig7Result{Server: server.Name}
+	for _, mb := range sizesMB {
+		row, err := runFig7Point(server, mb, reps, seed)
+		if err != nil {
+			return Fig7Result{}, fmt.Errorf("fig7 %s %dMB: %w", server.Name, mb, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runFig7Point(server core.ServerProfile, sizeMB, reps int, seed int64) (Fig7Row, error) {
+	cfgText, err := core.SyntheticModelConfig(sizeMB << 20)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	// PM must hold twin copies of the sealed model plus slack.
+	pmBytes := (sizeMB*5/2 + 48) << 20
+	f, err := core.New(core.Config{
+		ModelConfig: cfgText,
+		Server:      server,
+		PMBytes:     pmBytes,
+		Seed:        seed,
+	})
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	row := Fig7Row{
+		TargetMB:    sizeMB,
+		ActualBytes: f.Net.ParamBytes(),
+	}
+	row.BeyondEPC = f.Net.ParamBytes()+15<<20 > enclave.UsableEPC
+
+	for i := 0; i < reps; i++ {
+		// Collect garbage from framework construction so GC pauses do
+		// not land inside the timed AES sections.
+		runtime.GC()
+		st, err := f.MirrorSave()
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("mirror save: %w", err)
+		}
+		row.MirrorSave = addTiming(row.MirrorSave, st)
+		rt, err := f.MirrorRestore()
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("mirror restore: %w", err)
+		}
+		row.MirrorRestore = addTiming(row.MirrorRestore, rt)
+		ss, err := f.SSDSave(fmt.Sprintf("ckpt-%d", i))
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("ssd save: %w", err)
+		}
+		row.SSDSave = addTiming(row.SSDSave, ss)
+		sr, err := f.SSDRestore(fmt.Sprintf("ckpt-%d", i))
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("ssd restore: %w", err)
+		}
+		row.SSDRestore = addTiming(row.SSDRestore, sr)
+	}
+	row.MirrorSave = divTiming(row.MirrorSave, reps)
+	row.MirrorRestore = divTiming(row.MirrorRestore, reps)
+	row.SSDSave = divTiming(row.SSDSave, reps)
+	row.SSDRestore = divTiming(row.SSDRestore, reps)
+	return row, nil
+}
+
+func addTiming(a, b core.StepTiming) core.StepTiming {
+	return core.StepTiming{
+		Encrypt: a.Encrypt + b.Encrypt,
+		Write:   a.Write + b.Write,
+		Read:    a.Read + b.Read,
+		Decrypt: a.Decrypt + b.Decrypt,
+	}
+}
+
+func divTiming(a core.StepTiming, n int) core.StepTiming {
+	d := int64(n)
+	return core.StepTiming{
+		Encrypt: a.Encrypt / time.Duration(d),
+		Write:   a.Write / time.Duration(d),
+		Read:    a.Read / time.Duration(d),
+		Decrypt: a.Decrypt / time.Duration(d),
+	}
+}
+
+// Print renders the save and restore panels (latencies in ms).
+func (r Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 7 — %s: PM mirroring vs SSD checkpointing (ms)\n", r.Server)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "size(MB)\tEncrypt(SSD)\tWrite(SSD)\tEncrypt(PM)\tWrite(PM)\tRead(SSD)\tDecrypt(SSD)\tRead(PM)\tDecrypt(PM)\tEPC")
+	for _, row := range r.Rows {
+		epc := ""
+		if row.BeyondEPC {
+			epc = "beyond"
+		}
+		fmt.Fprintf(tw, "%.0f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			mbOf(row.ActualBytes),
+			ms(row.SSDSave.Encrypt), ms(row.SSDSave.Write),
+			ms(row.MirrorSave.Encrypt), ms(row.MirrorSave.Write),
+			ms(row.SSDRestore.Read), ms(row.SSDRestore.Decrypt),
+			ms(row.MirrorRestore.Read), ms(row.MirrorRestore.Decrypt),
+			epc)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"plinius/internal/core"
+)
+
+// Table1a is the paper's Table Ia: percentage breakdown of the
+// mirroring steps, separated at the EPC limit.
+type Table1a struct {
+	Server string
+	// Save breakdown (% of save latency).
+	EncryptBelow, WriteBelow   float64
+	EncryptBeyond, WriteBeyond float64
+	// Restore breakdown (% of restore latency).
+	ReadBelow, DecryptBelow   float64
+	ReadBeyond, DecryptBeyond float64
+	HasBeyond                 bool
+}
+
+// Table1b is the paper's Table Ib: mirroring speed-ups over SSD
+// checkpointing, separated at the EPC limit.
+type Table1b struct {
+	Server string
+	// Save speed-ups.
+	WriteBelow, SaveTotalBelow   float64
+	WriteBeyond, SaveTotalBeyond float64
+	// Restore speed-ups.
+	ReadBelow, RestoreTotalBelow   float64
+	ReadBeyond, RestoreTotalBeyond float64
+	HasBeyond                      bool
+}
+
+// ComputeTable1a derives Table Ia from a Fig. 7 sweep.
+func ComputeTable1a(fig7 Fig7Result) Table1a {
+	out := Table1a{Server: fig7.Server}
+	var below, beyond []Fig7Row
+	for _, r := range fig7.Rows {
+		if r.BeyondEPC {
+			beyond = append(beyond, r)
+		} else {
+			below = append(below, r)
+		}
+	}
+	out.EncryptBelow, out.WriteBelow = saveShares(below, func(r Fig7Row) core.StepTiming { return r.MirrorSave })
+	out.ReadBelow, out.DecryptBelow = restoreShares(below, func(r Fig7Row) core.StepTiming { return r.MirrorRestore })
+	if len(beyond) > 0 {
+		out.HasBeyond = true
+		out.EncryptBeyond, out.WriteBeyond = saveShares(beyond, func(r Fig7Row) core.StepTiming { return r.MirrorSave })
+		out.ReadBeyond, out.DecryptBeyond = restoreShares(beyond, func(r Fig7Row) core.StepTiming { return r.MirrorRestore })
+	}
+	return out
+}
+
+func saveShares(rows []Fig7Row, get func(Fig7Row) core.StepTiming) (encryptPct, writePct float64) {
+	var enc, wr time.Duration
+	for _, r := range rows {
+		st := get(r)
+		enc += st.Encrypt
+		wr += st.Write
+	}
+	total := enc + wr
+	if total == 0 {
+		return 0, 0
+	}
+	return 100 * float64(enc) / float64(total), 100 * float64(wr) / float64(total)
+}
+
+func restoreShares(rows []Fig7Row, get func(Fig7Row) core.StepTiming) (readPct, decryptPct float64) {
+	var rd, dec time.Duration
+	for _, r := range rows {
+		st := get(r)
+		rd += st.Read
+		dec += st.Decrypt
+	}
+	total := rd + dec
+	if total == 0 {
+		return 0, 0
+	}
+	return 100 * float64(rd) / float64(total), 100 * float64(dec) / float64(total)
+}
+
+// ComputeTable1b derives Table Ib from a Fig. 7 sweep.
+func ComputeTable1b(fig7 Fig7Result) Table1b {
+	out := Table1b{Server: fig7.Server}
+	var below, beyond []Fig7Row
+	for _, r := range fig7.Rows {
+		if r.BeyondEPC {
+			beyond = append(beyond, r)
+		} else {
+			below = append(below, r)
+		}
+	}
+	out.WriteBelow = ratio(below, func(r Fig7Row) (time.Duration, time.Duration) {
+		return r.SSDSave.Write, r.MirrorSave.Write
+	})
+	out.SaveTotalBelow = ratio(below, func(r Fig7Row) (time.Duration, time.Duration) {
+		return r.SSDSave.Total(), r.MirrorSave.Total()
+	})
+	out.ReadBelow = ratio(below, func(r Fig7Row) (time.Duration, time.Duration) {
+		return r.SSDRestore.Read, r.MirrorRestore.Read
+	})
+	out.RestoreTotalBelow = ratio(below, func(r Fig7Row) (time.Duration, time.Duration) {
+		return r.SSDRestore.Total(), r.MirrorRestore.Total()
+	})
+	if len(beyond) > 0 {
+		out.HasBeyond = true
+		out.WriteBeyond = ratio(beyond, func(r Fig7Row) (time.Duration, time.Duration) {
+			return r.SSDSave.Write, r.MirrorSave.Write
+		})
+		out.SaveTotalBeyond = ratio(beyond, func(r Fig7Row) (time.Duration, time.Duration) {
+			return r.SSDSave.Total(), r.MirrorSave.Total()
+		})
+		out.ReadBeyond = ratio(beyond, func(r Fig7Row) (time.Duration, time.Duration) {
+			return r.SSDRestore.Read, r.MirrorRestore.Read
+		})
+		out.RestoreTotalBeyond = ratio(beyond, func(r Fig7Row) (time.Duration, time.Duration) {
+			return r.SSDRestore.Total(), r.MirrorRestore.Total()
+		})
+	}
+	return out
+}
+
+// ratio averages ssd/pm per row.
+func ratio(rows []Fig7Row, get func(Fig7Row) (ssd, mirror time.Duration)) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rows {
+		ssd, mir := get(r)
+		if mir > 0 {
+			sum += float64(ssd) / float64(mir)
+		}
+	}
+	return sum / float64(len(rows))
+}
+
+// Print renders Table Ia.
+func (t Table1a) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table Ia — %s: breakdown of mirroring steps (%%)\n", t.Server)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "step\tbelow EPC\tbeyond EPC")
+	fmt.Fprintf(tw, "save: Encrypt\t%.1f\t%s\n", t.EncryptBelow, pctOrDash(t.EncryptBeyond, t.HasBeyond))
+	fmt.Fprintf(tw, "save: Write\t%.1f\t%s\n", t.WriteBelow, pctOrDash(t.WriteBeyond, t.HasBeyond))
+	fmt.Fprintf(tw, "restore: Read\t%.1f\t%s\n", t.ReadBelow, pctOrDash(t.ReadBeyond, t.HasBeyond))
+	fmt.Fprintf(tw, "restore: Decrypt\t%.1f\t%s\n", t.DecryptBelow, pctOrDash(t.DecryptBeyond, t.HasBeyond))
+	tw.Flush()
+}
+
+// Print renders Table Ib.
+func (t Table1b) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table Ib — %s: PLINIUS speed-ups over SSD checkpointing\n", t.Server)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "step\tbelow EPC\tbeyond EPC")
+	fmt.Fprintf(tw, "save: Write\t%.1fx\t%s\n", t.WriteBelow, xOrDash(t.WriteBeyond, t.HasBeyond))
+	fmt.Fprintf(tw, "save: Total\t%.1fx\t%s\n", t.SaveTotalBelow, xOrDash(t.SaveTotalBeyond, t.HasBeyond))
+	fmt.Fprintf(tw, "restore: Read\t%.1fx\t%s\n", t.ReadBelow, xOrDash(t.ReadBeyond, t.HasBeyond))
+	fmt.Fprintf(tw, "restore: Total\t%.1fx\t%s\n", t.RestoreTotalBelow, xOrDash(t.RestoreTotalBeyond, t.HasBeyond))
+	tw.Flush()
+}
+
+func pctOrDash(v float64, has bool) string {
+	if !has {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func xOrDash(v float64, has bool) string {
+	if !has {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}

@@ -1,0 +1,257 @@
+package mirror
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"plinius/internal/enclave"
+	"plinius/internal/engine"
+	"plinius/internal/mnist"
+	"plinius/internal/romulus"
+)
+
+// PM-data module (paper §IV/§V): training data is loaded once from
+// secondary storage into a persistent matrix in byte-addressable PM,
+// row-encrypted with the data key. Each training iteration decrypts a
+// batch of rows into enclave memory (Fig. 5, steps 5-6); after a crash
+// the data is instantly available again without re-reading storage.
+//
+// Persistent layout (root slot RootData, values little-endian uint64):
+//
+//	data header: n | plainRowLen | storedRowLen | encrypted | dataOff
+//	rows       : n contiguous storedRowLen records
+//
+// A row's plaintext is image floats ‖ one-hot label floats.
+
+const (
+	dataHdrN         = 0
+	dataHdrPlainRow  = 8
+	dataHdrStoredRow = 16
+	dataHdrEncrypted = 24
+	dataHdrDataOff   = 32
+	dataHdrSize      = 40
+
+	// loadChunkRows bounds the size of one data-loading transaction so
+	// the volatile redo log stays small (§V: "this could be done in
+	// batches if the training dataset is very large").
+	loadChunkRows = 64
+)
+
+// DataMatrix is a handle to the persistent training-data matrix.
+type DataMatrix struct {
+	rom       *romulus.Romulus
+	eng       *engine.Engine
+	encl      *enclave.Enclave
+	headOff   int
+	n         int
+	plainRow  int
+	storedRow int
+	encrypted bool
+	dataOff   int
+}
+
+// Data errors.
+var (
+	ErrNoData      = errors.New("mirror: no persistent training data in PM")
+	ErrDataCorrupt = errors.New("mirror: persistent training data is corrupt")
+)
+
+// DataOption configures a DataMatrix.
+type DataOption func(*DataMatrix)
+
+// WithDataEnclave charges EPC paging for batch plaintext staged in
+// enclave memory.
+func WithDataEnclave(e *enclave.Enclave) DataOption {
+	return func(d *DataMatrix) { d.encl = e }
+}
+
+// WithPlaintextRows stores rows unencrypted. Only used by the Fig. 8
+// baseline that measures the overhead of batched decryption.
+func WithPlaintextRows() DataOption {
+	return func(d *DataMatrix) { d.encrypted = false }
+}
+
+// DataExists reports whether a persistent data matrix is rooted.
+func DataExists(rom *romulus.Romulus) bool {
+	off, err := rom.Root(RootData)
+	return err == nil && off != 0
+}
+
+// rowPlainLen is the plaintext bytes per row.
+func rowPlainLen() int {
+	return 4 * (mnist.Rows*mnist.Cols + mnist.Classes)
+}
+
+// LoadData encrypts (unless WithPlaintextRows) and copies the dataset
+// into PM, chunking the copy across transactions to bound the redo log.
+func LoadData(rom *romulus.Romulus, eng *engine.Engine, ds *mnist.Dataset, opts ...DataOption) (*DataMatrix, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DataMatrix{rom: rom, eng: eng, encrypted: true, plainRow: rowPlainLen()}
+	for _, opt := range opts {
+		opt(d)
+	}
+	d.n = ds.N
+	if d.encrypted {
+		d.storedRow = engine.SealedLen(d.plainRow)
+	} else {
+		d.storedRow = d.plainRow
+	}
+
+	// Allocate header + matrix in one transaction.
+	err := rom.Update(func() error {
+		hdr, err := rom.Alloc(dataHdrSize)
+		if err != nil {
+			return err
+		}
+		d.headOff = hdr
+		dataOff, err := rom.Alloc(d.n * d.storedRow)
+		if err != nil {
+			return err
+		}
+		d.dataOff = dataOff
+		enc := uint64(0)
+		if d.encrypted {
+			enc = 1
+		}
+		fields := []uint64{uint64(d.n), uint64(d.plainRow), uint64(d.storedRow), enc, uint64(dataOff)}
+		for i, v := range fields {
+			if err := rom.StoreUint64(hdr+8*i, v); err != nil {
+				return err
+			}
+		}
+		return rom.SetRoot(RootData, hdr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("data alloc: %w", err)
+	}
+
+	// Copy rows in chunked transactions.
+	for start := 0; start < d.n; start += loadChunkRows {
+		end := start + loadChunkRows
+		if end > d.n {
+			end = d.n
+		}
+		err := rom.Update(func() error {
+			for i := start; i < end; i++ {
+				row, err := d.encodeRow(ds, i)
+				if err != nil {
+					return err
+				}
+				if err := rom.Store(d.dataOff+i*d.storedRow, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("data load rows %d-%d: %w", start, end, err)
+		}
+	}
+	return d, nil
+}
+
+func (d *DataMatrix) encodeRow(ds *mnist.Dataset, i int) ([]byte, error) {
+	plain := make([]float32, 0, mnist.Rows*mnist.Cols+mnist.Classes)
+	plain = append(plain, ds.Image(i)...)
+	plain = append(plain, ds.OneHot(i)...)
+	raw := engine.FloatsToBytes(plain)
+	if !d.encrypted {
+		return raw, nil
+	}
+	sealed, err := d.eng.Seal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("seal row %d: %w", i, err)
+	}
+	return sealed, nil
+}
+
+// OpenData attaches to the persistent data matrix after a restart.
+func OpenData(rom *romulus.Romulus, eng *engine.Engine, opts ...DataOption) (*DataMatrix, error) {
+	hdr, err := rom.Root(RootData)
+	if err != nil {
+		return nil, err
+	}
+	if hdr == 0 {
+		return nil, ErrNoData
+	}
+	d := &DataMatrix{rom: rom, eng: eng, headOff: hdr}
+	for _, opt := range opts {
+		opt(d)
+	}
+	var fields [5]uint64
+	for i := range fields {
+		if fields[i], err = rom.LoadUint64(hdr + 8*i); err != nil {
+			return nil, err
+		}
+	}
+	d.n = int(fields[0])
+	d.plainRow = int(fields[1])
+	d.storedRow = int(fields[2])
+	d.encrypted = fields[3] != 0
+	d.dataOff = int(fields[4])
+	if d.n <= 0 || d.plainRow != rowPlainLen() || d.storedRow < d.plainRow || d.dataOff <= 0 {
+		return nil, fmt.Errorf("%w: header %+v", ErrDataCorrupt, fields)
+	}
+	return d, nil
+}
+
+// N returns the number of rows.
+func (d *DataMatrix) N() int { return d.n }
+
+// Encrypted reports whether rows are sealed.
+func (d *DataMatrix) Encrypted() bool { return d.encrypted }
+
+// StoredBytes returns the persistent footprint of the matrix.
+func (d *DataMatrix) StoredBytes() int { return d.n * d.storedRow }
+
+// Row decrypts (if sealed) row i into image and one-hot label vectors.
+func (d *DataMatrix) Row(i int) (img, label []float32, err error) {
+	if i < 0 || i >= d.n {
+		return nil, nil, fmt.Errorf("%w: row %d of %d", ErrDataCorrupt, i, d.n)
+	}
+	stored := make([]byte, d.storedRow)
+	if err := d.rom.Load(d.dataOff+i*d.storedRow, stored); err != nil {
+		return nil, nil, err
+	}
+	raw := stored
+	if d.encrypted {
+		if raw, err = d.eng.Open(stored); err != nil {
+			return nil, nil, fmt.Errorf("decrypt row %d: %w", i, err)
+		}
+	}
+	if d.encl != nil {
+		d.encl.Touch(len(raw))
+	}
+	vals, err := engine.BytesToFloats(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("row %d: %w", i, err)
+	}
+	imgLen := mnist.Rows * mnist.Cols
+	if len(vals) != imgLen+mnist.Classes {
+		return nil, nil, fmt.Errorf("%w: row %d has %d values", ErrDataCorrupt, i, len(vals))
+	}
+	return vals[:imgLen], vals[imgLen:], nil
+}
+
+// Batch samples a training batch, decrypting rows from PM into enclave
+// memory (Fig. 5 steps 5-6; Algorithm 2 decrypt_pm_data).
+func (d *DataMatrix) Batch(rng *rand.Rand, size int) (x, y []float32, err error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("%w: batch size %d", mnist.ErrBadBatch, size)
+	}
+	imgLen := mnist.Rows * mnist.Cols
+	x = make([]float32, size*imgLen)
+	y = make([]float32, size*mnist.Classes)
+	for b := 0; b < size; b++ {
+		img, label, err := d.Row(rng.Intn(d.n))
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(x[b*imgLen:], img)
+		copy(y[b*mnist.Classes:], label)
+	}
+	return x, y, nil
+}

@@ -1,0 +1,368 @@
+// Package mirror implements Plinius' mirroring module (paper §IV,
+// Algorithm 3): it creates and maintains an encrypted mirror copy of the
+// enclave ML model in persistent memory and keeps encrypted,
+// byte-addressable training data in PM (data.go).
+//
+// The persistent model is a linked list of layer nodes, each holding the
+// sealed (AES-GCM: IV ‖ ciphertext ‖ MAC) image of every parameter
+// buffer of the corresponding enclave layer — five buffers per
+// convolutional layer, hence the paper's 140 B/layer encryption
+// metadata. All updates run inside SGX-Romulus durable transactions, so
+// a crash at any point leaves either the previous or the new mirror
+// intact.
+package mirror
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"plinius/internal/darknet"
+	"plinius/internal/enclave"
+	"plinius/internal/engine"
+	"plinius/internal/romulus"
+)
+
+// Root slots used by Plinius in the Romulus root table.
+const (
+	RootModel = 0
+	RootData  = 1
+)
+
+// Persistent layout offsets (all values little-endian uint64):
+//
+//	model header: iter | numLayers | headOff
+//	layer node  : nextOff | numBufs | (bufOff, sealedLen) x numBufs
+const (
+	modelHdrIter = 0
+	modelHdrNumL = 8
+	modelHdrHead = 16
+	modelHdrSize = 24
+	nodeNext     = 0
+	nodeNumBufs  = 8
+	nodeBufTable = 16
+	nodeBufEntry = 16 // offset(8) + sealedLen(8)
+)
+
+// Errors returned by the mirroring module.
+var (
+	ErrNoMirror      = errors.New("mirror: no persistent model in PM")
+	ErrShapeMismatch = errors.New("mirror: persistent model does not match network architecture")
+	ErrCorrupt       = errors.New("mirror: persistent model is corrupt")
+)
+
+type bufRef struct {
+	off       int
+	sealedLen int
+}
+
+type layerNode struct {
+	off  int
+	bufs []bufRef
+}
+
+// Model is a handle to the encrypted mirror copy of a network in PM.
+type Model struct {
+	rom     *romulus.Romulus
+	eng     *engine.Engine
+	encl    *enclave.Enclave
+	headOff int
+	layers  []layerNode
+
+	// lastSeal and lastOpen record the wall-clock time spent in AES-GCM
+	// during the most recent MirrorOut/MirrorIn, so experiment
+	// harnesses can report the paper's encrypt/write and read/decrypt
+	// breakdowns (Table Ia).
+	lastSeal time.Duration
+	lastOpen time.Duration
+
+	// readBuf is reused for sealed reads during MirrorIn to keep the
+	// hot recovery path allocation-free.
+	readBuf []byte
+}
+
+// Option configures a Model handle.
+type Option func(*Model)
+
+// WithEnclave charges EPC paging costs for plaintext staged in enclave
+// memory during mirror operations.
+func WithEnclave(e *enclave.Enclave) Option {
+	return func(m *Model) { m.encl = e }
+}
+
+// Exists reports whether a persistent model is rooted in the heap.
+func Exists(rom *romulus.Romulus) bool {
+	off, err := rom.Root(RootModel)
+	return err == nil && off != 0
+}
+
+// AllocModel allocates the persistent mirror of net in one durable
+// transaction (Algorithm 3, alloc_mirror_model) and roots it.
+func AllocModel(rom *romulus.Romulus, eng *engine.Engine, net *darknet.Network, opts ...Option) (*Model, error) {
+	m := &Model{rom: rom, eng: eng}
+	for _, opt := range opts {
+		opt(m)
+	}
+	paramLayers := collectParamLayers(net)
+	err := rom.Update(func() error {
+		hdr, err := rom.Alloc(modelHdrSize)
+		if err != nil {
+			return err
+		}
+		m.headOff = hdr
+		var prevNodeOff = -1
+		var firstNodeOff int
+		for _, params := range paramLayers {
+			nodeSize := nodeBufTable + nodeBufEntry*len(params)
+			nodeOff, err := rom.Alloc(nodeSize)
+			if err != nil {
+				return err
+			}
+			node := layerNode{off: nodeOff}
+			for bi, p := range params {
+				sealedLen := engine.SealedLen(4 * len(p))
+				bufOff, err := rom.Alloc(sealedLen)
+				if err != nil {
+					return err
+				}
+				node.bufs = append(node.bufs, bufRef{off: bufOff, sealedLen: sealedLen})
+				entry := nodeOff + nodeBufTable + nodeBufEntry*bi
+				if err := rom.StoreUint64(entry, uint64(bufOff)); err != nil {
+					return err
+				}
+				if err := rom.StoreUint64(entry+8, uint64(sealedLen)); err != nil {
+					return err
+				}
+			}
+			if err := rom.StoreUint64(nodeOff+nodeNext, 0); err != nil {
+				return err
+			}
+			if err := rom.StoreUint64(nodeOff+nodeNumBufs, uint64(len(params))); err != nil {
+				return err
+			}
+			if prevNodeOff >= 0 {
+				if err := rom.StoreUint64(prevNodeOff+nodeNext, uint64(nodeOff)); err != nil {
+					return err
+				}
+			} else {
+				firstNodeOff = nodeOff
+			}
+			prevNodeOff = nodeOff
+			m.layers = append(m.layers, node)
+		}
+		if err := rom.StoreUint64(hdr+modelHdrIter, 0); err != nil {
+			return err
+		}
+		if err := rom.StoreUint64(hdr+modelHdrNumL, uint64(len(paramLayers))); err != nil {
+			return err
+		}
+		if err := rom.StoreUint64(hdr+modelHdrHead, uint64(firstNodeOff)); err != nil {
+			return err
+		}
+		return rom.SetRoot(RootModel, hdr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mirror alloc: %w", err)
+	}
+	return m, nil
+}
+
+// OpenModel attaches to an existing persistent model (after a restart or
+// crash) by walking the linked list from the root.
+func OpenModel(rom *romulus.Romulus, eng *engine.Engine, opts ...Option) (*Model, error) {
+	hdr, err := rom.Root(RootModel)
+	if err != nil {
+		return nil, err
+	}
+	if hdr == 0 {
+		return nil, ErrNoMirror
+	}
+	m := &Model{rom: rom, eng: eng, headOff: hdr}
+	for _, opt := range opts {
+		opt(m)
+	}
+	numL, err := rom.LoadUint64(hdr + modelHdrNumL)
+	if err != nil {
+		return nil, err
+	}
+	next, err := rom.LoadUint64(hdr + modelHdrHead)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < numL; i++ {
+		if next == 0 {
+			return nil, fmt.Errorf("%w: list ends at layer %d of %d", ErrCorrupt, i, numL)
+		}
+		nodeOff := int(next)
+		numBufs, err := rom.LoadUint64(nodeOff + nodeNumBufs)
+		if err != nil {
+			return nil, err
+		}
+		if numBufs == 0 || numBufs > 64 {
+			return nil, fmt.Errorf("%w: layer %d has %d buffers", ErrCorrupt, i, numBufs)
+		}
+		node := layerNode{off: nodeOff}
+		for b := uint64(0); b < numBufs; b++ {
+			entry := nodeOff + nodeBufTable + nodeBufEntry*int(b)
+			bufOff, err := rom.LoadUint64(entry)
+			if err != nil {
+				return nil, err
+			}
+			sealedLen, err := rom.LoadUint64(entry + 8)
+			if err != nil {
+				return nil, err
+			}
+			node.bufs = append(node.bufs, bufRef{off: int(bufOff), sealedLen: int(sealedLen)})
+		}
+		m.layers = append(m.layers, node)
+		if next, err = rom.LoadUint64(nodeOff + nodeNext); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// collectParamLayers returns the parameter buffers of every layer that
+// has any (conv: 5 buffers, connected: 2; pooling/softmax: none).
+func collectParamLayers(net *darknet.Network) [][][]float32 {
+	var out [][][]float32
+	for _, l := range net.Layers {
+		if params := l.Params(); len(params) > 0 {
+			out = append(out, params)
+		}
+	}
+	return out
+}
+
+// matches checks the persistent layout against the network architecture.
+func (m *Model) matches(paramLayers [][][]float32) error {
+	if len(paramLayers) != len(m.layers) {
+		return fmt.Errorf("%w: %d persistent layers, %d network layers",
+			ErrShapeMismatch, len(m.layers), len(paramLayers))
+	}
+	for li, params := range paramLayers {
+		if len(params) != len(m.layers[li].bufs) {
+			return fmt.Errorf("%w: layer %d has %d buffers, persistent %d",
+				ErrShapeMismatch, li, len(params), len(m.layers[li].bufs))
+		}
+		for bi, p := range params {
+			if engine.SealedLen(4*len(p)) != m.layers[li].bufs[bi].sealedLen {
+				return fmt.Errorf("%w: layer %d buffer %d sealed size %d vs %d",
+					ErrShapeMismatch, li, bi, engine.SealedLen(4*len(p)), m.layers[li].bufs[bi].sealedLen)
+			}
+		}
+	}
+	return nil
+}
+
+// MirrorOut encrypts the enclave model's parameters and writes them over
+// the persistent mirror in one durable transaction, recording the
+// iteration counter (Algorithm 3, mirror_out).
+func (m *Model) MirrorOut(net *darknet.Network) error {
+	paramLayers := collectParamLayers(net)
+	if err := m.matches(paramLayers); err != nil {
+		return err
+	}
+	m.lastSeal = 0
+	return m.rom.Update(func() error {
+		if err := m.rom.StoreUint64(m.headOff+modelHdrIter, uint64(net.Iteration)); err != nil {
+			return err
+		}
+		for li, params := range paramLayers {
+			node := m.layers[li]
+			for bi, p := range params {
+				sealStart := time.Now()
+				sealed, err := m.eng.SealFloatsScratch(p)
+				m.lastSeal += time.Since(sealStart)
+				if err != nil {
+					return fmt.Errorf("seal layer %d buffer %d: %w", li, bi, err)
+				}
+				if err := m.rom.Store(node.bufs[bi].off, sealed); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// MirrorIn reads the persistent mirror, decrypts it inside the enclave
+// and installs the parameters and iteration counter into net
+// (Algorithm 3, mirror_in). It returns the restored iteration.
+func (m *Model) MirrorIn(net *darknet.Network) (int, error) {
+	paramLayers := collectParamLayers(net)
+	if err := m.matches(paramLayers); err != nil {
+		return 0, err
+	}
+	iter, err := m.rom.LoadUint64(m.headOff + modelHdrIter)
+	if err != nil {
+		return 0, err
+	}
+	m.lastOpen = 0
+	for li, params := range paramLayers {
+		node := m.layers[li]
+		for bi, p := range params {
+			n := node.bufs[bi].sealedLen
+			if cap(m.readBuf) < n {
+				m.readBuf = make([]byte, n)
+			}
+			sealed := m.readBuf[:n]
+			if err := m.rom.Load(node.bufs[bi].off, sealed); err != nil {
+				return 0, err
+			}
+			if m.encl != nil {
+				m.encl.CopyAcross(len(sealed))
+			}
+			openStart := time.Now()
+			err := m.eng.OpenFloatsInto(p, sealed)
+			m.lastOpen += time.Since(openStart)
+			if err != nil {
+				return 0, fmt.Errorf("open layer %d buffer %d: %w", li, bi, err)
+			}
+		}
+	}
+	net.Iteration = int(iter)
+	return int(iter), nil
+}
+
+// Iteration reads the persisted iteration counter without touching the
+// parameters.
+func (m *Model) Iteration() (int, error) {
+	iter, err := m.rom.LoadUint64(m.headOff + modelHdrIter)
+	if err != nil {
+		return 0, err
+	}
+	return int(iter), nil
+}
+
+// MetadataBytes returns the encryption metadata footprint of the mirror:
+// engine.Overhead (28 B) per sealed buffer, e.g. 140 B per conv layer.
+func (m *Model) MetadataBytes() int {
+	total := 0
+	for _, node := range m.layers {
+		total += engine.Overhead * len(node.bufs)
+	}
+	return total
+}
+
+// SealedBytes returns the total persistent size of the mirror payload.
+func (m *Model) SealedBytes() int {
+	total := 0
+	for _, node := range m.layers {
+		for _, b := range node.bufs {
+			total += b.sealedLen
+		}
+	}
+	return total
+}
+
+// NumLayers returns the number of persistent layer nodes.
+func (m *Model) NumLayers() int { return len(m.layers) }
+
+// LastSealDuration returns the wall-clock AES time of the most recent
+// MirrorOut.
+func (m *Model) LastSealDuration() time.Duration { return m.lastSeal }
+
+// LastOpenDuration returns the wall-clock AES time of the most recent
+// MirrorIn.
+func (m *Model) LastOpenDuration() time.Duration { return m.lastOpen }

@@ -1,0 +1,144 @@
+package mirror
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"plinius/internal/darknet"
+	"plinius/internal/engine"
+	"plinius/internal/mnist"
+	"plinius/internal/pm"
+	"plinius/internal/romulus"
+)
+
+// Property: any randomly shaped CNN survives a mirror-out/mirror-in
+// round trip bit-exactly, including across a device crash and reopen.
+func TestPropertyMirrorRoundTripAnyArchitecture(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		layers := 1 + rng.Intn(3)
+		filters := 2 + rng.Intn(6)
+		cfg := darknet.MNISTConfig(layers, filters, 4)
+		net, err := darknet.ParseConfig(strings.NewReader(cfg), rng)
+		if err != nil {
+			return false
+		}
+		for _, l := range net.Layers {
+			for _, p := range l.Params() {
+				for i := range p {
+					p[i] = float32(rng.NormFloat64())
+				}
+			}
+		}
+		net.Iteration = rng.Intn(1 << 20)
+
+		dev, err := pm.New(16 << 20)
+		if err != nil {
+			return false
+		}
+		rom, err := romulus.Open(dev)
+		if err != nil {
+			return false
+		}
+		eng, err := engine.New([]byte("0123456789abcdef"), engine.WithRand(rand.Reader))
+		if err != nil {
+			return false
+		}
+		m, err := AllocModel(rom, eng, net)
+		if err != nil {
+			return false
+		}
+		if err := m.MirrorOut(net); err != nil {
+			return false
+		}
+
+		dev.Crash()
+		rom2, err := romulus.Open(dev)
+		if err != nil {
+			return false
+		}
+		m2, err := OpenModel(rom2, eng)
+		if err != nil {
+			return false
+		}
+		restored, err := darknet.ParseConfig(strings.NewReader(cfg), mrand.New(mrand.NewSource(seed+1)))
+		if err != nil {
+			return false
+		}
+		iter, err := m2.MirrorIn(restored)
+		if err != nil || iter != net.Iteration {
+			return false
+		}
+		return netsEqual(net, restored)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the data matrix preserves any image row bit-exactly,
+// encrypted or not.
+func TestPropertyDataMatrixRowFidelity(t *testing.T) {
+	f := func(seed int64, plaintext bool) bool {
+		_, rom := quickHeap(16 << 20)
+		if rom == nil {
+			return false
+		}
+		eng, err := engine.New([]byte("0123456789abcdef"), engine.WithRand(rand.Reader))
+		if err != nil {
+			return false
+		}
+		n := 5 + int(seed%7+7)%7
+		ds := syntheticFor(n, seed)
+		var opts []DataOption
+		if plaintext {
+			opts = append(opts, WithPlaintextRows())
+		}
+		dm, err := LoadData(rom, eng, ds, opts...)
+		if err != nil {
+			return false
+		}
+		rng := mrand.New(mrand.NewSource(seed))
+		for k := 0; k < 3; k++ {
+			i := rng.Intn(n)
+			img, label, err := dm.Row(i)
+			if err != nil {
+				return false
+			}
+			want := ds.Image(i)
+			for p := range want {
+				if img[p] != want[p] {
+					return false
+				}
+			}
+			if label[ds.Labels[i]] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickHeap builds a heap without a testing.T, for quick.Check bodies.
+func quickHeap(size int) (*pm.Device, *romulus.Romulus) {
+	dev, err := pm.New(size)
+	if err != nil {
+		return nil, nil
+	}
+	rom, err := romulus.Open(dev)
+	if err != nil {
+		return nil, nil
+	}
+	return dev, rom
+}
+
+// syntheticFor wraps mnist.Synthetic for quick.Check bodies.
+func syntheticFor(n int, seed int64) *mnist.Dataset {
+	return mnist.Synthetic(n, seed)
+}

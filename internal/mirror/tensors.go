@@ -1,0 +1,358 @@
+package mirror
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Generic tensor mirroring — the paper's §IV generality claim: "Other
+// ML libraries could be integrated into the PLINIUS architecture ...
+// we applied our mirroring mechanism within Tensorflow ... our
+// implementation creates mirror copies of tensors in PM and restores
+// them in enclave memory". TensorStore mirrors an arbitrary collection
+// of named float32 tensors with the same sealed-buffer layout and
+// durable-transaction guarantees as the model mirror, so any framework
+// whose state reduces to float tensors can use Plinius persistence.
+
+// Persistent layout (root slot RootTensors, little-endian uint64):
+//
+//	header : count | firstEntryOff
+//	entry  : nextOff | nameOff | nameLen | bufOff | sealedLen | elems
+//	name   : raw bytes
+//	buf    : sealed tensor (IV ‖ ciphertext ‖ MAC)
+const (
+	// RootTensors is the Romulus root slot of the tensor store.
+	RootTensors = 2
+
+	tensHdrCount = 0
+	tensHdrFirst = 8
+	tensHdrSize  = 16
+
+	entNext      = 0
+	entNameOff   = 8
+	entNameLen   = 16
+	entBufOff    = 24
+	entSealedLen = 32
+	entElems     = 40
+	entSize      = 48
+
+	maxTensorName = 256
+)
+
+// Tensor-store errors.
+var (
+	ErrNoTensors     = errors.New("mirror: no tensor store in PM")
+	ErrTensorUnknown = errors.New("mirror: unknown tensor name")
+	ErrTensorShape   = errors.New("mirror: tensor size mismatch")
+	ErrTensorName    = errors.New("mirror: invalid tensor name")
+	ErrTensorDup     = errors.New("mirror: duplicate tensor name")
+)
+
+type tensorEntry struct {
+	name      string
+	bufOff    int
+	sealedLen int
+	elems     int
+}
+
+// TensorSpec declares one tensor at allocation time.
+type TensorSpec struct {
+	Name  string
+	Elems int
+}
+
+// TensorStore is a handle to a persistent collection of sealed tensors.
+type TensorStore struct {
+	rom     romAPI
+	eng     engAPI
+	headOff int
+	entries map[string]tensorEntry
+	order   []string
+
+	lastSeal time.Duration
+	lastOpen time.Duration
+}
+
+// romAPI and engAPI are the narrow interfaces TensorStore needs; they
+// are satisfied by *romulus.Romulus and *engine.Engine and keep the
+// store testable.
+type romAPI interface {
+	Update(func() error) error
+	Alloc(int) (int, error)
+	Store(int, []byte) error
+	Load(int, []byte) error
+	StoreUint64(int, uint64) error
+	LoadUint64(int) (uint64, error)
+	SetRoot(int, int) error
+	Root(int) (int, error)
+}
+
+type engAPI interface {
+	SealFloatsScratch([]float32) ([]byte, error)
+	OpenFloatsInto([]float32, []byte) error
+}
+
+// TensorsExist reports whether a tensor store is rooted in the heap.
+func TensorsExist(rom romAPI) bool {
+	off, err := rom.Root(RootTensors)
+	return err == nil && off != 0
+}
+
+// AllocTensors allocates a persistent store for the given tensor specs
+// in one durable transaction.
+func AllocTensors(rom romAPI, eng engAPI, specs []TensorSpec) (*TensorStore, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: no tensors", ErrTensorShape)
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" || len(s.Name) > maxTensorName {
+			return nil, fmt.Errorf("%w: %q", ErrTensorName, s.Name)
+		}
+		if s.Elems <= 0 {
+			return nil, fmt.Errorf("%w: %q has %d elements", ErrTensorShape, s.Name, s.Elems)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("%w: %q", ErrTensorDup, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	ts := &TensorStore{
+		rom:     rom,
+		eng:     eng,
+		entries: make(map[string]tensorEntry, len(specs)),
+	}
+	err := rom.Update(func() error {
+		hdr, err := rom.Alloc(tensHdrSize)
+		if err != nil {
+			return err
+		}
+		ts.headOff = hdr
+		prev := -1
+		first := 0
+		for _, s := range specs {
+			entOff, err := rom.Alloc(entSize)
+			if err != nil {
+				return err
+			}
+			nameOff, err := rom.Alloc(len(s.Name))
+			if err != nil {
+				return err
+			}
+			sealedLen := sealedLenFor(s.Elems)
+			bufOff, err := rom.Alloc(sealedLen)
+			if err != nil {
+				return err
+			}
+			fields := map[int]uint64{
+				entNext:      0,
+				entNameOff:   uint64(nameOff),
+				entNameLen:   uint64(len(s.Name)),
+				entBufOff:    uint64(bufOff),
+				entSealedLen: uint64(sealedLen),
+				entElems:     uint64(s.Elems),
+			}
+			for rel, v := range fields {
+				if err := rom.StoreUint64(entOff+rel, v); err != nil {
+					return err
+				}
+			}
+			if err := rom.Store(nameOff, []byte(s.Name)); err != nil {
+				return err
+			}
+			if prev >= 0 {
+				if err := rom.StoreUint64(prev+entNext, uint64(entOff)); err != nil {
+					return err
+				}
+			} else {
+				first = entOff
+			}
+			prev = entOff
+			ts.entries[s.Name] = tensorEntry{
+				name: s.Name, bufOff: bufOff, sealedLen: sealedLen, elems: s.Elems,
+			}
+			ts.order = append(ts.order, s.Name)
+		}
+		if err := rom.StoreUint64(hdr+tensHdrCount, uint64(len(specs))); err != nil {
+			return err
+		}
+		if err := rom.StoreUint64(hdr+tensHdrFirst, uint64(first)); err != nil {
+			return err
+		}
+		return rom.SetRoot(RootTensors, hdr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tensor alloc: %w", err)
+	}
+	return ts, nil
+}
+
+// sealedLenFor mirrors engine.SealedLen(4*elems) without importing the
+// constant through the narrow interface.
+func sealedLenFor(elems int) int { return 4*elems + 28 }
+
+// OpenTensors attaches to an existing tensor store after a restart.
+func OpenTensors(rom romAPI, eng engAPI) (*TensorStore, error) {
+	hdr, err := rom.Root(RootTensors)
+	if err != nil {
+		return nil, err
+	}
+	if hdr == 0 {
+		return nil, ErrNoTensors
+	}
+	ts := &TensorStore{
+		rom:     rom,
+		eng:     eng,
+		headOff: hdr,
+		entries: make(map[string]tensorEntry),
+	}
+	count, err := rom.LoadUint64(hdr + tensHdrCount)
+	if err != nil {
+		return nil, err
+	}
+	next, err := rom.LoadUint64(hdr + tensHdrFirst)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		if next == 0 {
+			return nil, fmt.Errorf("%w: tensor list ends at %d of %d", ErrCorrupt, i, count)
+		}
+		off := int(next)
+		var vals [6]uint64
+		for j := range vals {
+			if vals[j], err = rom.LoadUint64(off + 8*j); err != nil {
+				return nil, err
+			}
+		}
+		nameLen := int(vals[2])
+		if nameLen <= 0 || nameLen > maxTensorName {
+			return nil, fmt.Errorf("%w: tensor name length %d", ErrCorrupt, nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if err := rom.Load(int(vals[1]), nameBuf); err != nil {
+			return nil, err
+		}
+		ent := tensorEntry{
+			name:      string(nameBuf),
+			bufOff:    int(vals[3]),
+			sealedLen: int(vals[4]),
+			elems:     int(vals[5]),
+		}
+		if _, dup := ts.entries[ent.name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrTensorDup, ent.name)
+		}
+		ts.entries[ent.name] = ent
+		ts.order = append(ts.order, ent.name)
+		next = vals[0]
+	}
+	return ts, nil
+}
+
+// Names returns the tensor names in allocation order.
+func (ts *TensorStore) Names() []string {
+	return append([]string(nil), ts.order...)
+}
+
+// Elems returns the element count of a tensor.
+func (ts *TensorStore) Elems(name string) (int, error) {
+	ent, ok := ts.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrTensorUnknown, name)
+	}
+	return ent.elems, nil
+}
+
+// Save seals one tensor and writes it over its PM mirror in a durable
+// transaction.
+func (ts *TensorStore) Save(name string, data []float32) error {
+	ent, ok := ts.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTensorUnknown, name)
+	}
+	if len(data) != ent.elems {
+		return fmt.Errorf("%w: %q has %d elements, got %d", ErrTensorShape, name, ent.elems, len(data))
+	}
+	return ts.rom.Update(func() error {
+		start := time.Now()
+		sealed, err := ts.eng.SealFloatsScratch(data)
+		ts.lastSeal = time.Since(start)
+		if err != nil {
+			return fmt.Errorf("seal tensor %q: %w", name, err)
+		}
+		return ts.rom.Store(ent.bufOff, sealed)
+	})
+}
+
+// SaveAll seals every named tensor in one durable transaction, so a
+// crash leaves either the previous or the new snapshot of the whole
+// collection (the atomicity TensorFlow checkpoints need).
+func (ts *TensorStore) SaveAll(tensors map[string][]float32) error {
+	for name, data := range tensors {
+		ent, ok := ts.entries[name]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrTensorUnknown, name)
+		}
+		if len(data) != ent.elems {
+			return fmt.Errorf("%w: %q has %d elements, got %d", ErrTensorShape, name, ent.elems, len(data))
+		}
+	}
+	ts.lastSeal = 0
+	return ts.rom.Update(func() error {
+		for _, name := range ts.order {
+			data, ok := tensors[name]
+			if !ok {
+				continue
+			}
+			ent := ts.entries[name]
+			start := time.Now()
+			sealed, err := ts.eng.SealFloatsScratch(data)
+			ts.lastSeal += time.Since(start)
+			if err != nil {
+				return fmt.Errorf("seal tensor %q: %w", name, err)
+			}
+			if err := ts.rom.Store(ent.bufOff, sealed); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Restore decrypts one tensor from PM into dst.
+func (ts *TensorStore) Restore(name string, dst []float32) error {
+	ent, ok := ts.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTensorUnknown, name)
+	}
+	if len(dst) != ent.elems {
+		return fmt.Errorf("%w: %q has %d elements, dst %d", ErrTensorShape, name, ent.elems, len(dst))
+	}
+	sealed := make([]byte, ent.sealedLen)
+	if err := ts.rom.Load(ent.bufOff, sealed); err != nil {
+		return err
+	}
+	start := time.Now()
+	err := ts.eng.OpenFloatsInto(dst, sealed)
+	ts.lastOpen = time.Since(start)
+	if err != nil {
+		return fmt.Errorf("open tensor %q: %w", name, err)
+	}
+	return nil
+}
+
+// RestoreAll decrypts every tensor into the provided destination map;
+// missing destinations are skipped.
+func (ts *TensorStore) RestoreAll(dst map[string][]float32) error {
+	for _, name := range ts.order {
+		d, ok := dst[name]
+		if !ok {
+			continue
+		}
+		if err := ts.Restore(name, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package mirror
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"plinius/internal/romulus"
+)
+
+func testTensorStore(t *testing.T) (*TensorStore, *romulus.Romulus) {
+	t.Helper()
+	_, rom := testHeap(t, 4<<20)
+	eng := testEngine(t)
+	ts, err := AllocTensors(rom, eng, []TensorSpec{
+		{Name: "conv1/weights", Elems: 128},
+		{Name: "conv1/bias", Elems: 16},
+		{Name: "fc/weights", Elems: 64},
+	})
+	if err != nil {
+		t.Fatalf("AllocTensors: %v", err)
+	}
+	return ts, rom
+}
+
+func randTensor(n int, seed int64) []float32 {
+	rng := mrand.New(mrand.NewSource(seed))
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestAllocTensorsValidation(t *testing.T) {
+	_, rom := testHeap(t, 1<<20)
+	eng := testEngine(t)
+	tests := []struct {
+		name  string
+		specs []TensorSpec
+		want  error
+	}{
+		{"empty", nil, ErrTensorShape},
+		{"unnamed", []TensorSpec{{Name: "", Elems: 4}}, ErrTensorName},
+		{"zero elems", []TensorSpec{{Name: "t", Elems: 0}}, ErrTensorShape},
+		{"duplicate", []TensorSpec{{Name: "t", Elems: 4}, {Name: "t", Elems: 8}}, ErrTensorDup},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := AllocTensors(rom, eng, tt.specs); !errors.Is(err, tt.want) {
+				t.Fatalf("AllocTensors = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTensorSaveRestoreRoundTrip(t *testing.T) {
+	ts, _ := testTensorStore(t)
+	want := randTensor(128, 1)
+	if err := ts.Save("conv1/weights", want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got := make([]float32, 128)
+	if err := ts.Restore("conv1/weights", got); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %f vs %f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTensorUnknownAndShapeErrors(t *testing.T) {
+	ts, _ := testTensorStore(t)
+	if err := ts.Save("nope", make([]float32, 4)); !errors.Is(err, ErrTensorUnknown) {
+		t.Fatalf("Save unknown = %v", err)
+	}
+	if err := ts.Save("conv1/bias", make([]float32, 99)); !errors.Is(err, ErrTensorShape) {
+		t.Fatalf("Save wrong size = %v", err)
+	}
+	if err := ts.Restore("nope", make([]float32, 4)); !errors.Is(err, ErrTensorUnknown) {
+		t.Fatalf("Restore unknown = %v", err)
+	}
+	if err := ts.Restore("conv1/bias", make([]float32, 99)); !errors.Is(err, ErrTensorShape) {
+		t.Fatalf("Restore wrong size = %v", err)
+	}
+	if _, err := ts.Elems("nope"); !errors.Is(err, ErrTensorUnknown) {
+		t.Fatalf("Elems unknown = %v", err)
+	}
+}
+
+func TestTensorStoreSurvivesCrash(t *testing.T) {
+	_, rom := testHeap(t, 4<<20)
+	eng := testEngine(t)
+	ts, err := AllocTensors(rom, eng, []TensorSpec{{Name: "w", Elems: 200}})
+	if err != nil {
+		t.Fatalf("AllocTensors: %v", err)
+	}
+	want := randTensor(200, 2)
+	if err := ts.Save("w", want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	rom.Device().Crash()
+	rom2, err := romulus.Open(rom.Device())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !TensorsExist(rom2) {
+		t.Fatal("tensor root lost")
+	}
+	ts2, err := OpenTensors(rom2, eng)
+	if err != nil {
+		t.Fatalf("OpenTensors: %v", err)
+	}
+	if n, err := ts2.Elems("w"); err != nil || n != 200 {
+		t.Fatalf("Elems = %d, %v", n, err)
+	}
+	got := make([]float32, 200)
+	if err := ts2.Restore("w", got); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("tensor corrupted across crash")
+		}
+	}
+}
+
+func TestSaveAllAtomicity(t *testing.T) {
+	// A crash during SaveAll must leave the previous snapshot of ALL
+	// tensors (no mixing of old and new).
+	for crashPoint := 1; crashPoint <= 24; crashPoint += 2 {
+		_, rom := testHeap(t, 4<<20)
+		eng := testEngine(t)
+		ts, err := AllocTensors(rom, eng, []TensorSpec{
+			{Name: "a", Elems: 64},
+			{Name: "b", Elems: 64},
+		})
+		if err != nil {
+			t.Fatalf("AllocTensors: %v", err)
+		}
+		oldA, oldB := randTensor(64, 10), randTensor(64, 11)
+		if err := ts.SaveAll(map[string][]float32{"a": oldA, "b": oldB}); err != nil {
+			t.Fatalf("seed SaveAll: %v", err)
+		}
+		newA, newB := randTensor(64, 20), randTensor(64, 21)
+		rom.SetCrashPoint(crashPoint)
+		err = ts.SaveAll(map[string][]float32{"a": newA, "b": newB})
+		if err == nil {
+			continue // crash point beyond this transaction
+		}
+		if !errors.Is(err, romulus.ErrCrashInjected) {
+			t.Fatalf("crashPoint=%d: SaveAll = %v", crashPoint, err)
+		}
+		rom2, err := romulus.Open(rom.Device())
+		if err != nil {
+			t.Fatalf("crashPoint=%d: reopen: %v", crashPoint, err)
+		}
+		ts2, err := OpenTensors(rom2, eng)
+		if err != nil {
+			t.Fatalf("crashPoint=%d: OpenTensors: %v", crashPoint, err)
+		}
+		gotA := make([]float32, 64)
+		gotB := make([]float32, 64)
+		if err := ts2.Restore("a", gotA); err != nil {
+			t.Fatalf("crashPoint=%d: Restore a: %v", crashPoint, err)
+		}
+		if err := ts2.Restore("b", gotB); err != nil {
+			t.Fatalf("crashPoint=%d: Restore b: %v", crashPoint, err)
+		}
+		aIsOld := gotA[0] == oldA[0]
+		bIsOld := gotB[0] == oldB[0]
+		aIsNew := gotA[0] == newA[0]
+		bIsNew := gotB[0] == newB[0]
+		if !((aIsOld && bIsOld) || (aIsNew && bIsNew)) {
+			t.Fatalf("crashPoint=%d: mixed snapshot (aOld=%v bOld=%v aNew=%v bNew=%v)",
+				crashPoint, aIsOld, bIsOld, aIsNew, bIsNew)
+		}
+	}
+}
+
+func TestRestoreAllSkipsMissing(t *testing.T) {
+	ts, _ := testTensorStore(t)
+	want := randTensor(16, 3)
+	if err := ts.Save("conv1/bias", want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	dst := map[string][]float32{"conv1/bias": make([]float32, 16)}
+	if err := ts.RestoreAll(dst); err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+	if dst["conv1/bias"][5] != want[5] {
+		t.Fatal("RestoreAll did not restore")
+	}
+}
+
+func TestTensorNamesOrder(t *testing.T) {
+	ts, _ := testTensorStore(t)
+	names := ts.Names()
+	want := []string{"conv1/weights", "conv1/bias", "fc/weights"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestOpenTensorsWithoutStore(t *testing.T) {
+	_, rom := testHeap(t, 1<<20)
+	eng := testEngine(t)
+	if TensorsExist(rom) {
+		t.Fatal("TensorsExist on empty heap")
+	}
+	if _, err := OpenTensors(rom, eng); !errors.Is(err, ErrNoTensors) {
+		t.Fatalf("OpenTensors = %v, want ErrNoTensors", err)
+	}
+}
+
+func TestTensorStoreCoexistsWithModelMirror(t *testing.T) {
+	// Model mirror (root 0), data matrix (root 1) and tensor store
+	// (root 2) share one heap.
+	_, rom := testHeap(t, 8<<20)
+	eng := testEngine(t)
+	net := testNet(t, 30)
+	m, err := AllocModel(rom, eng, net)
+	if err != nil {
+		t.Fatalf("AllocModel: %v", err)
+	}
+	if err := m.MirrorOut(net); err != nil {
+		t.Fatalf("MirrorOut: %v", err)
+	}
+	ts, err := AllocTensors(rom, eng, []TensorSpec{{Name: "extra", Elems: 32}})
+	if err != nil {
+		t.Fatalf("AllocTensors: %v", err)
+	}
+	want := randTensor(32, 4)
+	if err := ts.Save("extra", want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Both survive and restore independently.
+	if _, err := m.MirrorIn(testNet(t, 99)); err != nil {
+		t.Fatalf("MirrorIn: %v", err)
+	}
+	got := make([]float32, 32)
+	if err := ts.Restore("extra", got); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got[7] != want[7] {
+		t.Fatal("tensor diverged")
+	}
+}

@@ -1,0 +1,140 @@
+package mnist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// IDX file format codec (the format of the real MNIST distribution at
+// yann.lecun.com/exdb/mnist). The reproduction uses it so real MNIST
+// files drop in, and so datasets can live on the emulated secondary
+// storage exactly as in the paper's Fig. 5 workflow.
+
+// IDX magic values: two zero bytes, a type byte (0x08 = unsigned byte),
+// and the dimension count.
+const (
+	idxTypeUByte  = 0x08
+	idxDimsImages = 3
+	idxDimsLabels = 1
+)
+
+// ErrBadIDX reports a malformed IDX stream.
+var ErrBadIDX = errors.New("mnist: malformed IDX data")
+
+// WriteIDXImages serialises the dataset's images as an IDX ubyte tensor
+// (n x Rows x Cols), scaling pixels to 0-255.
+func WriteIDXImages(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	header := []interface{}{
+		uint32(idxTypeUByte<<8 | idxDimsImages),
+		uint32(d.N), uint32(Rows), uint32(Cols),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("mnist: write IDX header: %w", err)
+		}
+	}
+	for _, px := range d.Images {
+		v := px
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		if err := bw.WriteByte(byte(v*255 + 0.5)); err != nil {
+			return fmt.Errorf("mnist: write IDX pixels: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels serialises the dataset's labels as an IDX ubyte vector.
+func WriteIDXLabels(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	header := []interface{}{uint32(idxTypeUByte<<8 | idxDimsLabels), uint32(d.N)}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return fmt.Errorf("mnist: write IDX header: %w", err)
+		}
+	}
+	for _, l := range d.Labels {
+		if err := bw.WriteByte(byte(l)); err != nil {
+			return fmt.Errorf("mnist: write IDX labels: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIDX reads paired image and label IDX streams into a Dataset,
+// scaling pixels to [0,1].
+func ReadIDX(images, labels io.Reader) (*Dataset, error) {
+	imgs, n, err := readIDXImages(images)
+	if err != nil {
+		return nil, err
+	}
+	lbls, err := readIDXLabels(labels, n)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Images: imgs, Labels: lbls, N: n}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func readIDXImages(r io.Reader) ([]float32, int, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, 0, fmt.Errorf("%w: image header: %v", ErrBadIDX, err)
+		}
+	}
+	if hdr[0] != uint32(idxTypeUByte<<8|idxDimsImages) {
+		return nil, 0, fmt.Errorf("%w: image magic %#x", ErrBadIDX, hdr[0])
+	}
+	n, rows, cols := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if rows != Rows || cols != Cols {
+		return nil, 0, fmt.Errorf("%w: geometry %dx%d, want %dx%d", ErrBadIDX, rows, cols, Rows, Cols)
+	}
+	buf := make([]byte, n*rows*cols)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, 0, fmt.Errorf("%w: image pixels: %v", ErrBadIDX, err)
+	}
+	out := make([]float32, len(buf))
+	for i, b := range buf {
+		out[i] = float32(b) / 255
+	}
+	return out, n, nil
+}
+
+func readIDXLabels(r io.Reader, wantN int) ([]int, error) {
+	br := bufio.NewReader(r)
+	var hdr [2]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("%w: label header: %v", ErrBadIDX, err)
+		}
+	}
+	if hdr[0] != uint32(idxTypeUByte<<8|idxDimsLabels) {
+		return nil, fmt.Errorf("%w: label magic %#x", ErrBadIDX, hdr[0])
+	}
+	n := int(hdr[1])
+	if n != wantN {
+		return nil, fmt.Errorf("%w: %d labels for %d images", ErrBadIDX, n, wantN)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("%w: label bytes: %v", ErrBadIDX, err)
+	}
+	out := make([]int, n)
+	for i, b := range buf {
+		out[i] = int(b)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package mnist
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticShapeAndDeterminism(t *testing.T) {
+	a := Synthetic(100, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.N != 100 || len(a.Images) != 100*Rows*Cols || len(a.Labels) != 100 {
+		t.Fatalf("bad dataset geometry: %d %d %d", a.N, len(a.Images), len(a.Labels))
+	}
+	b := Synthetic(100, 42)
+	for i := range a.Images {
+		if a.Images[i] != b.Images[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := Synthetic(100, 43)
+	same := true
+	for i := range a.Images {
+		if a.Images[i] != c.Images[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestSyntheticClassBalanceAndRange(t *testing.T) {
+	d := Synthetic(200, 1)
+	counts := make([]int, Classes)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	for cls, c := range counts {
+		if c != 20 {
+			t.Fatalf("class %d has %d samples, want 20", cls, c)
+		}
+	}
+	for i, p := range d.Images {
+		if p < 0 || p > 1 {
+			t.Fatalf("pixel %d out of range: %f", i, p)
+		}
+	}
+}
+
+func TestSyntheticDigitsAreDistinguishable(t *testing.T) {
+	// Mean images of different digits must differ substantially,
+	// otherwise the CNN experiments cannot learn.
+	d := Synthetic(500, 7)
+	means := make([][]float32, Classes)
+	counts := make([]int, Classes)
+	for c := range means {
+		means[c] = make([]float32, Rows*Cols)
+	}
+	for i := 0; i < d.N; i++ {
+		l := d.Labels[i]
+		counts[l]++
+		img := d.Image(i)
+		for p, v := range img {
+			means[l][p] += v
+		}
+	}
+	for c := range means {
+		for p := range means[c] {
+			means[c][p] /= float32(counts[c])
+		}
+	}
+	for a := 0; a < Classes; a++ {
+		for b := a + 1; b < Classes; b++ {
+			var dist float32
+			for p := range means[a] {
+				diff := means[a][p] - means[b][p]
+				dist += diff * diff
+			}
+			if dist < 1 {
+				t.Fatalf("digits %d and %d nearly identical (dist=%f)", a, b, dist)
+			}
+		}
+	}
+}
+
+func TestBatchShapes(t *testing.T) {
+	d := Synthetic(50, 3)
+	rng := rand.New(rand.NewSource(4))
+	x, y, err := d.Batch(rng, 16)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(x) != 16*Rows*Cols || len(y) != 16*Classes {
+		t.Fatalf("batch shapes: x=%d y=%d", len(x), len(y))
+	}
+	// Every label row is one-hot.
+	for b := 0; b < 16; b++ {
+		var sum float32
+		for c := 0; c < Classes; c++ {
+			sum += y[b*Classes+c]
+		}
+		if sum != 1 {
+			t.Fatalf("row %d label sum = %f", b, sum)
+		}
+	}
+	if _, _, err := d.Batch(rng, 0); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("zero batch = %v, want ErrBadBatch", err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Synthetic(100, 5)
+	train, test, err := d.Split(80)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if train.N != 80 || test.N != 20 {
+		t.Fatalf("split sizes: %d/%d", train.N, test.N)
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatalf("train invalid: %v", err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatalf("test invalid: %v", err)
+	}
+	if _, _, err := d.Split(101); err == nil {
+		t.Fatal("oversized split accepted")
+	}
+}
+
+func TestIDXRoundTrip(t *testing.T) {
+	d := Synthetic(30, 6)
+	var imgs, lbls bytes.Buffer
+	if err := WriteIDXImages(&imgs, d); err != nil {
+		t.Fatalf("WriteIDXImages: %v", err)
+	}
+	if err := WriteIDXLabels(&lbls, d); err != nil {
+		t.Fatalf("WriteIDXLabels: %v", err)
+	}
+	got, err := ReadIDX(&imgs, &lbls)
+	if err != nil {
+		t.Fatalf("ReadIDX: %v", err)
+	}
+	if got.N != d.N {
+		t.Fatalf("N = %d, want %d", got.N, d.N)
+	}
+	for i := range d.Labels {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	// Pixels survive the byte quantisation within 1/255.
+	for i := range d.Images {
+		diff := got.Images[i] - d.Images[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1.0/255+1e-6 {
+			t.Fatalf("pixel %d: wrote %f read %f", i, d.Images[i], got.Images[i])
+		}
+	}
+}
+
+func TestReadIDXRejectsBadStreams(t *testing.T) {
+	d := Synthetic(5, 8)
+	var imgs, lbls bytes.Buffer
+	if err := WriteIDXImages(&imgs, d); err != nil {
+		t.Fatalf("WriteIDXImages: %v", err)
+	}
+	if err := WriteIDXLabels(&lbls, d); err != nil {
+		t.Fatalf("WriteIDXLabels: %v", err)
+	}
+
+	if _, err := ReadIDX(strings.NewReader("xx"), bytes.NewReader(lbls.Bytes())); !errors.Is(err, ErrBadIDX) {
+		t.Fatalf("truncated images = %v, want ErrBadIDX", err)
+	}
+	if _, err := ReadIDX(bytes.NewReader(imgs.Bytes()), strings.NewReader("xx")); !errors.Is(err, ErrBadIDX) {
+		t.Fatalf("truncated labels = %v, want ErrBadIDX", err)
+	}
+	// Swapped streams: label magic where image magic expected.
+	if _, err := ReadIDX(bytes.NewReader(lbls.Bytes()), bytes.NewReader(imgs.Bytes())); !errors.Is(err, ErrBadIDX) {
+		t.Fatalf("swapped streams = %v, want ErrBadIDX", err)
+	}
+}
+
+func TestValidateCatchesCorruptLabels(t *testing.T) {
+	d := Synthetic(10, 9)
+	d.Labels[3] = 99
+	if err := d.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Fatalf("Validate = %v, want ErrBadDataset", err)
+	}
+}
+
+func TestPropertyIDXRoundTripAnySize(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		d := Synthetic(n, seed)
+		var imgs, lbls bytes.Buffer
+		if err := WriteIDXImages(&imgs, d); err != nil {
+			return false
+		}
+		if err := WriteIDXLabels(&lbls, d); err != nil {
+			return false
+		}
+		got, err := ReadIDX(&imgs, &lbls)
+		if err != nil {
+			return false
+		}
+		if got.N != n {
+			return false
+		}
+		for i := range d.Labels {
+			if got.Labels[i] != d.Labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

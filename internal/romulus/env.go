@@ -1,0 +1,73 @@
+package romulus
+
+import (
+	"time"
+
+	"plinius/internal/pm"
+)
+
+// Env models where the Romulus library runs (paper Fig. 6): natively,
+// manually ported into an SGX enclave (SGX-Romulus), or unmodified
+// inside a SCONE container. The environments differ in how much slower
+// stores, write-backs and fences become, and — for SCONE — in the memory
+// pressure on the volatile redo log inside the constrained container,
+// which collapses throughput for large transactions.
+type Env struct {
+	Name string
+	// StoreMult, FlushMult and FenceMult scale the base PM costs; 1
+	// means native speed.
+	StoreMult float64
+	FlushMult float64
+	FenceMult float64
+	// LogPressureThreshold is the log length (entries) beyond which each
+	// further append pays LogPressureCost (SCONE's limited redo-log
+	// space; 0 disables).
+	LogPressureThreshold int
+	LogPressureCost      time.Duration
+}
+
+// NativeEnv is Romulus outside any TEE.
+func NativeEnv() Env {
+	return Env{Name: "native", StoreMult: 1, FlushMult: 1, FenceMult: 1}
+}
+
+// SGXEnv is SGX-Romulus: persistence fences observed 1.6x-3.7x slower
+// than native in the paper; write-backs also pay enclave overhead.
+func SGXEnv() Env {
+	return Env{Name: "sgx-romulus", StoreMult: 1.2, FlushMult: 1.7, FenceMult: 3.0}
+}
+
+// SconeEnv is unmodified Romulus in a SCONE container: close to native
+// for small transactions, but the redo log competes for the container's
+// constrained memory, so appends beyond the threshold become expensive
+// and throughput collapses for large transactions (the paper's >64
+// swaps/tx regime).
+func SconeEnv() Env {
+	return Env{
+		Name:                 "scone-romulus",
+		StoreMult:            1.05,
+		FlushMult:            1.15,
+		FenceMult:            1.4,
+		LogPressureThreshold: 128, // log entries (= 64 swaps x 2 stores)
+		LogPressureCost:      100 * time.Nanosecond,
+	}
+}
+
+// chargeStoreExtra adds the environment's extra store cost for n bytes.
+func (e Env) chargeStoreExtra(dev *pm.Device, n int) {
+	if e.StoreMult <= 1 {
+		return
+	}
+	lines := (n + pm.CacheLineSize - 1) / pm.CacheLineSize
+	base := dev.Profile().Store
+	dev.Clock().Advance(time.Duration(float64(lines) * float64(base) * (e.StoreMult - 1)))
+}
+
+// chargeLogAppend adds the log memory-pressure cost for the append that
+// made the log logLen entries long.
+func (e Env) chargeLogAppend(dev *pm.Device, logLen int) {
+	if e.LogPressureThreshold <= 0 || logLen <= e.LogPressureThreshold {
+		return
+	}
+	dev.Clock().Advance(e.LogPressureCost)
+}

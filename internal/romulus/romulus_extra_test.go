@@ -1,0 +1,179 @@
+package romulus
+
+import (
+	"bytes"
+	"testing"
+
+	"plinius/internal/pm"
+)
+
+func TestSequentialTransactionsAccumulate(t *testing.T) {
+	dev, r := newHeap(t, 64<<10)
+	var offs []int
+	for i := 0; i < 10; i++ {
+		if err := r.Update(func() error {
+			off, err := r.Alloc(8)
+			if err != nil {
+				return err
+			}
+			offs = append(offs, off)
+			return r.StoreUint64(off, uint64(i*i))
+		}); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	dev.Crash()
+	r2, err := Open(dev)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for i, off := range offs {
+		got, err := r2.LoadUint64(off)
+		if err != nil {
+			t.Fatalf("LoadUint64: %v", err)
+		}
+		if got != uint64(i*i) {
+			t.Fatalf("tx %d value = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	dev, r := newHeap(t, 64<<10)
+	var off int
+	if err := r.Update(func() error {
+		o, err := r.Alloc(16)
+		if err != nil {
+			return err
+		}
+		off = o
+		return r.Store(off, []byte("stable state ..."))
+	}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// Recover repeatedly without a crash: state must not change.
+	for i := 0; i < 3; i++ {
+		if err := r.Recover(); err != nil {
+			t.Fatalf("Recover %d: %v", i, err)
+		}
+	}
+	got := make([]byte, 16)
+	if err := r.Load(off, got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !bytes.Equal(got, []byte("stable state ...")) {
+		t.Fatalf("state changed under repeated recovery: %q", got)
+	}
+	_ = dev
+}
+
+func TestAllTransactionFlushKinds(t *testing.T) {
+	for _, kind := range []pm.FlushKind{pm.FlushClflush, pm.FlushClflushOpt, pm.FlushCLWB} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dev, err := pm.New(64 << 10)
+			if err != nil {
+				t.Fatalf("pm.New: %v", err)
+			}
+			r, err := Open(dev, WithFlushKind(kind))
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			var off int
+			if err := r.Update(func() error {
+				o, err := r.Alloc(32)
+				if err != nil {
+					return err
+				}
+				off = o
+				return r.Store(off, bytes.Repeat([]byte{0x5A}, 32))
+			}); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			dev.Crash()
+			r2, err := Open(dev, WithFlushKind(kind))
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			got := make([]byte, 32)
+			if err := r2.Load(off, got); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if !bytes.Equal(got, bytes.Repeat([]byte{0x5A}, 32)) {
+				t.Fatalf("%s: data lost", kind)
+			}
+		})
+	}
+}
+
+func TestLoadBoundsOutsideTx(t *testing.T) {
+	_, r := newHeap(t, 64<<10)
+	if err := r.Load(r.RegionSize(), make([]byte, 1)); err == nil {
+		t.Fatal("out-of-region Load succeeded")
+	}
+	if err := r.Load(-1, make([]byte, 1)); err == nil {
+		t.Fatal("negative Load succeeded")
+	}
+}
+
+func TestUpdateAbortsOnCallbackError(t *testing.T) {
+	_, r := newHeap(t, 64<<10)
+	if err := r.Update(func() error { return pm.ErrOutOfRange }); err == nil {
+		t.Fatal("Update swallowed error")
+	}
+	if r.InTx() {
+		t.Fatal("transaction left open after failed Update")
+	}
+	// The heap is still usable.
+	if err := r.Update(func() error {
+		_, err := r.Alloc(8)
+		return err
+	}); err != nil {
+		t.Fatalf("follow-up Update: %v", err)
+	}
+}
+
+func TestEnvCostsMonotone(t *testing.T) {
+	// Same workload, increasing environment multipliers => increasing
+	// modeled time.
+	run := func(env Env) int64 {
+		dev, err := pm.New(1 << 20)
+		if err != nil {
+			t.Fatalf("pm.New: %v", err)
+		}
+		r, err := Open(dev, WithEnv(env))
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		res, err := RunSPS(r, SPSConfig{ArrayBytes: 64 << 10, SwapsPerTx: 32, Transactions: 10, Seed: 3})
+		if err != nil {
+			t.Fatalf("RunSPS: %v", err)
+		}
+		return res.ElapsedSimNs
+	}
+	native := run(NativeEnv())
+	sgx := run(SGXEnv())
+	if sgx <= native {
+		t.Fatalf("SGX env (%d ns) not slower than native (%d ns)", sgx, native)
+	}
+}
+
+func TestStatsFourFencesScaleWithTransactions(t *testing.T) {
+	dev, r := newHeap(t, 64<<10)
+	before := dev.Stats().Fences
+	const txs = 7
+	for i := 0; i < txs; i++ {
+		if err := r.Update(func() error {
+			off, err := r.Alloc(8)
+			if err != nil {
+				return err
+			}
+			return r.StoreUint64(off, 1)
+		}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	got := dev.Stats().Fences - before
+	if got != 4*txs {
+		t.Fatalf("%d transactions used %d fences, want %d", txs, got, 4*txs)
+	}
+}

@@ -1,0 +1,85 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Millisecond)
+	c.Advance(5 * time.Millisecond)
+	if got := c.Modeled(); got != 15*time.Millisecond {
+		t.Fatalf("Modeled = %v, want 15ms", got)
+	}
+	if got := c.Total(); got != 15*time.Millisecond {
+		t.Fatalf("Total = %v, want 15ms", got)
+	}
+}
+
+func TestAdvanceIgnoresNonPositive(t *testing.T) {
+	c := New()
+	c.Advance(0)
+	c.Advance(-time.Second)
+	if got := c.Modeled(); got != 0 {
+		t.Fatalf("Modeled = %v, want 0", got)
+	}
+}
+
+func TestMeasureUsesInjectedNow(t *testing.T) {
+	base := time.Unix(0, 0)
+	calls := 0
+	c := NewWithNow(func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * 100 * time.Millisecond)
+	})
+	d := c.Measure(func() {})
+	if d != 100*time.Millisecond {
+		t.Fatalf("Measure returned %v, want 100ms", d)
+	}
+	if got := c.Real(); got != 100*time.Millisecond {
+		t.Fatalf("Real = %v, want 100ms", got)
+	}
+}
+
+func TestAddRealAndSplit(t *testing.T) {
+	c := New()
+	c.AddReal(7 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	modeled, real := c.Split()
+	if modeled != 3*time.Millisecond || real != 7*time.Millisecond {
+		t.Fatalf("Split = (%v, %v), want (3ms, 7ms)", modeled, real)
+	}
+	if got := c.Total(); got != 10*time.Millisecond {
+		t.Fatalf("Total = %v, want 10ms", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.AddReal(time.Second)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatalf("Total after Reset = %v, want 0", c.Total())
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Modeled(); got != 8000*time.Microsecond {
+		t.Fatalf("Modeled = %v, want 8ms", got)
+	}
+}

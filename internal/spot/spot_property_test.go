@@ -1,0 +1,82 @@
+package spot
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Interruptions always equals the number of true->false
+// transitions in Availability, for any trace and bid.
+func TestPropertyInterruptionsMatchAvailability(t *testing.T) {
+	f := func(seed int64, bidRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		tr := Synthetic(n, 0.09, 0.01, seed)
+		bid := 0.05 + float64(bidRaw)/255*0.1
+		avail := tr.Availability(bid)
+		want := 0
+		for i := 1; i < len(avail); i++ {
+			if avail[i-1] && !avail[i] {
+				want++
+			}
+		}
+		return tr.Interruptions(bid) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WriteCSV followed by ParseCSV preserves every price within
+// the serialisation precision.
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		tr := Synthetic(n, 0.05+rng.Float64()*0.1, 0.01, seed)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ParseCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Prices) != n {
+			return false
+		}
+		for i := range tr.Prices {
+			d := got.Prices[i] - tr.Prices[i]
+			if d < -1e-6 || d > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under any bid, the run executes at most TargetIters steps
+// and the state curve has one point per visited interval.
+func TestPropertyRunBounds(t *testing.T) {
+	f := func(seed int64, bidRaw uint8) bool {
+		tr := Synthetic(30, 0.09, 0.01, seed)
+		bid := 0.05 + float64(bidRaw)/255*0.1
+		ft := &fakeTrainer{resilient: true}
+		res, err := Run(tr, Config{MaxBid: bid, TargetIters: 20, ItersPerInterval: 3}, ft)
+		if err != nil {
+			return false
+		}
+		if res.Iterations > 20 || len(res.Losses) != res.Iterations {
+			return false
+		}
+		return len(res.States) <= len(tr.Prices)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

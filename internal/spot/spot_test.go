@@ -1,0 +1,218 @@
+package spot
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticDeterministicAndPositive(t *testing.T) {
+	a := Synthetic(200, 0.09, 0.01, 42)
+	b := Synthetic(200, 0.09, 0.01, 42)
+	if len(a.Prices) != 200 {
+		t.Fatalf("got %d points", len(a.Prices))
+	}
+	for i := range a.Prices {
+		if a.Prices[i] != b.Prices[i] {
+			t.Fatal("same seed, different trace")
+		}
+		if a.Prices[i] <= 0 {
+			t.Fatalf("non-positive price at %d", i)
+		}
+	}
+}
+
+func TestSyntheticHasSpikesAboveBase(t *testing.T) {
+	tr := Synthetic(500, 0.09, 0.01, 7)
+	spikes := 0
+	for _, p := range tr.Prices {
+		if p > 0.0955 {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("trace never exceeds the paper's bid; simulation would be trivial")
+	}
+	if spikes > 250 {
+		t.Fatalf("trace above bid %d/500 of the time; instance barely runs", spikes)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Synthetic(50, 0.09, 0.01, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if len(got.Prices) != 50 {
+		t.Fatalf("round trip lost points: %d", len(got.Prices))
+	}
+	for i := range tr.Prices {
+		diff := got.Prices[i] - tr.Prices[i]
+		if diff < -1e-6 || diff > 1e-6 {
+			t.Fatalf("price %d: %f vs %f", i, got.Prices[i], tr.Prices[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader("")); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("empty = %v, want ErrEmptyTrace", err)
+	}
+	if _, err := ParseCSV(strings.NewReader("justonefield\n")); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("one field = %v, want ErrBadTrace", err)
+	}
+	if _, err := ParseCSV(strings.NewReader("0,notanumber\n")); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad number = %v, want ErrBadTrace", err)
+	}
+	got, err := ParseCSV(strings.NewReader("# comment\n0,0.05\n\n5,0.06\n"))
+	if err != nil {
+		t.Fatalf("comments: %v", err)
+	}
+	if len(got.Prices) != 2 {
+		t.Fatalf("got %d points, want 2", len(got.Prices))
+	}
+}
+
+func TestAvailabilityAndInterruptions(t *testing.T) {
+	tr := Trace{Prices: []float64{0.05, 0.05, 0.12, 0.12, 0.05, 0.12, 0.05}}
+	avail := tr.Availability(0.0955)
+	want := []bool{true, true, false, false, true, false, true}
+	for i := range want {
+		if avail[i] != want[i] {
+			t.Fatalf("avail[%d] = %v, want %v", i, avail[i], want[i])
+		}
+	}
+	if got := tr.Interruptions(0.0955); got != 2 {
+		t.Fatalf("Interruptions = %d, want 2", got)
+	}
+}
+
+// fakeTrainer counts protocol calls and simulates crash-resilient or
+// restart-from-scratch behaviour.
+type fakeTrainer struct {
+	resilient bool
+	progress  int // persisted iterations (survives Kill when resilient)
+	volatile  int // in-memory progress
+	kills     int
+	resumes   int
+	stepErr   error
+}
+
+func (f *fakeTrainer) Step() (float32, error) {
+	if f.stepErr != nil {
+		return 0, f.stepErr
+	}
+	f.volatile++
+	f.progress = f.volatile
+	// Loss decays with volatile progress (a fresh restart re-learns).
+	return 1 / float32(f.volatile+1), nil
+}
+
+func (f *fakeTrainer) Kill() {
+	f.kills++
+	if !f.resilient {
+		f.volatile = 0
+	}
+}
+
+func (f *fakeTrainer) Resume() error {
+	f.resumes++
+	if f.resilient {
+		f.volatile = f.progress
+	}
+	return nil
+}
+
+func TestRunCompletesWithoutInterruption(t *testing.T) {
+	tr := Trace{Prices: []float64{0.05, 0.05, 0.05, 0.05}}
+	ft := &fakeTrainer{resilient: true}
+	res, err := Run(tr, Config{MaxBid: 0.0955, TargetIters: 10, ItersPerInterval: 5}, ft)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed || res.Iterations != 10 {
+		t.Fatalf("completed=%v iters=%d", res.Completed, res.Iterations)
+	}
+	if res.Interruptions != 0 || ft.kills != 0 {
+		t.Fatalf("unexpected interruptions: %d/%d", res.Interruptions, ft.kills)
+	}
+	if ft.resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", ft.resumes)
+	}
+	if len(res.Losses) != 10 {
+		t.Fatalf("loss curve has %d points", len(res.Losses))
+	}
+}
+
+func TestRunKillsAndResumesAcrossSpikes(t *testing.T) {
+	tr := Trace{Prices: []float64{0.05, 0.12, 0.05, 0.12, 0.05, 0.05}}
+	ft := &fakeTrainer{resilient: true}
+	res, err := Run(tr, Config{MaxBid: 0.0955, TargetIters: 100, ItersPerInterval: 10}, ft)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Interruptions != 2 || ft.kills != 2 || ft.resumes != 3 {
+		t.Fatalf("interruptions=%d kills=%d resumes=%d", res.Interruptions, ft.kills, ft.resumes)
+	}
+	// 4 runnable intervals x 10 iters = 40 < target.
+	if res.Completed || res.Iterations != 40 {
+		t.Fatalf("completed=%v iters=%d", res.Completed, res.Iterations)
+	}
+	// State curve must reflect the availability pattern.
+	wantRunning := []bool{true, false, true, false, true, true}
+	for i, sp := range res.States {
+		if sp.Running != wantRunning[i] {
+			t.Fatalf("state[%d] = %v, want %v", i, sp.Running, wantRunning[i])
+		}
+	}
+}
+
+func TestResilientFinishesWithFewerTotalIterations(t *testing.T) {
+	// Fig. 10(a) vs (c): the non-resilient run restarts from scratch
+	// after each interruption, so reaching the same learning progress
+	// takes more total iterations. With the fakeTrainer, progress is
+	// the volatile counter; we compare the final volatile progress.
+	tr := Trace{Prices: []float64{0.05, 0.05, 0.12, 0.05, 0.05, 0.12, 0.05, 0.05, 0.05}}
+	cfg := Config{MaxBid: 0.0955, TargetIters: 1000, ItersPerInterval: 10}
+
+	resilient := &fakeTrainer{resilient: true}
+	if _, err := Run(tr, cfg, resilient); err != nil {
+		t.Fatalf("Run resilient: %v", err)
+	}
+	fresh := &fakeTrainer{resilient: false}
+	if _, err := Run(tr, cfg, fresh); err != nil {
+		t.Fatalf("Run fresh: %v", err)
+	}
+	if resilient.volatile <= fresh.volatile {
+		t.Fatalf("resilient progress %d <= non-resilient %d", resilient.volatile, fresh.volatile)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	tr := Trace{Prices: []float64{0.05}}
+	ft := &fakeTrainer{}
+	if _, err := Run(Trace{}, Config{MaxBid: 1, TargetIters: 1, ItersPerInterval: 1}, ft); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("empty trace = %v", err)
+	}
+	if _, err := Run(tr, Config{MaxBid: 0, TargetIters: 1, ItersPerInterval: 1}, ft); !errors.Is(err, ErrBadBid) {
+		t.Fatalf("zero bid = %v", err)
+	}
+	if _, err := Run(tr, Config{MaxBid: 1, TargetIters: 0, ItersPerInterval: 1}, ft); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+func TestRunPropagatesStepError(t *testing.T) {
+	tr := Trace{Prices: []float64{0.05}}
+	boom := errors.New("boom")
+	ft := &fakeTrainer{stepErr: boom}
+	if _, err := Run(tr, Config{MaxBid: 1, TargetIters: 5, ItersPerInterval: 5}, ft); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want boom", err)
+	}
+}

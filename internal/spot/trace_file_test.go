@@ -1,0 +1,35 @@
+package spot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBundledTrace validates the repository's shipped spot trace (the
+// paper: "The spot traces used and our simulation scripts are
+// available in the PLINIUS repository").
+func TestBundledTrace(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "testdata", "spot_trace.csv"))
+	if err != nil {
+		t.Fatalf("open bundled trace: %v", err)
+	}
+	defer f.Close()
+	tr, err := ParseCSV(f)
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if len(tr.Prices) != 160 {
+		t.Fatalf("bundled trace has %d points, want 160", len(tr.Prices))
+	}
+	// The paper's Fig. 10(b) scenario: exactly two interruptions at
+	// the 0.0955 bid.
+	if got := tr.Interruptions(0.0955); got != 2 {
+		t.Fatalf("bundled trace yields %d interruptions at the paper's bid, want 2", got)
+	}
+	for i, p := range tr.Prices {
+		if p <= 0 || p > 1 {
+			t.Fatalf("price %d out of range: %f", i, p)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a random sequence of writes and seeks against a Device
+// file behaves exactly like the same sequence against an in-memory
+// reference buffer.
+func TestPropertyFileMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := NewDevice(RamdiskProfile())
+		fh, err := dev.Create("f")
+		if err != nil {
+			return false
+		}
+		ref := make([]byte, 0, 4096)
+		pos := 0
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0: // write
+				n := 1 + rng.Intn(64)
+				data := make([]byte, n)
+				rng.Read(data)
+				if _, err := fh.Write(data); err != nil {
+					return false
+				}
+				end := pos + n
+				if end > len(ref) {
+					grown := make([]byte, end)
+					copy(grown, ref)
+					ref = grown
+				}
+				copy(ref[pos:], data)
+				pos = end
+			case 1: // seek within file
+				if len(ref) == 0 {
+					continue
+				}
+				pos = rng.Intn(len(ref) + 1)
+				if _, err := fh.Seek(int64(pos), io.SeekStart); err != nil {
+					return false
+				}
+			case 2: // sync
+				if err := fh.Sync(); err != nil {
+					return false
+				}
+			}
+		}
+		// Full read-back comparison.
+		if _, err := fh.Seek(0, io.SeekStart); err != nil {
+			return false
+		}
+		got, err := io.ReadAll(fh)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIO throughput is monotone non-decreasing in thread count
+// up to the device parallelism, and never exceeds the bandwidth
+// ceiling.
+func TestPropertyFIOMonotoneAndBounded(t *testing.T) {
+	f := func(patRaw, thRaw uint8) bool {
+		pat := FIOPattern(int(patRaw)%4 + 1)
+		th := int(thRaw)%8 + 1
+		prof := SSDProfile()
+		a, err := RunFIO(prof, FIOConfig{Pattern: pat, Threads: th, BlockSize: 4096, FileSize: 1 << 20})
+		if err != nil {
+			return false
+		}
+		b, err := RunFIO(prof, FIOConfig{Pattern: pat, Threads: th + 1, BlockSize: 4096, FileSize: 1 << 20})
+		if err != nil {
+			return false
+		}
+		if b.ThroughputGBps+1e-6 < a.ThroughputGBps {
+			return false
+		}
+		bw := prof.ReadBandwidth
+		if pat.IsWrite() {
+			bw = prof.WriteBandwidth
+		}
+		return a.ThroughputGBps <= bw/1e9+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

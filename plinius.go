@@ -1,0 +1,138 @@
+// Package plinius is the public API of the Plinius reproduction: a
+// secure and persistent machine-learning model training framework
+// (Yuhala et al., DSN 2021) built from an emulated Intel SGX enclave, an
+// emulated persistent-memory device, the SGX-Romulus durable-transaction
+// library, the SGX-Darknet CNN framework, and the paper's encrypted
+// mirroring mechanism.
+//
+// Quick start:
+//
+//	f, err := plinius.New(plinius.Config{
+//	    ModelConfig: plinius.MNISTConfig(5, 16, 128),
+//	})
+//	ds := plinius.SyntheticDataset(60000, 42)
+//	err = f.LoadDataset(ds)
+//	err = f.Train(500, func(iter int, loss float32) { ... })
+//
+// A Framework survives crashes: call Crash to simulate a power failure
+// or spot-instance reclamation, Recover to restart the process, and
+// training resumes from the last mirrored iteration with the training
+// data still byte-addressable in PM. See the examples directory and
+// cmd/plinius-bench for the paper's full evaluation.
+package plinius
+
+import (
+	"io"
+
+	"plinius/internal/core"
+	"plinius/internal/darknet"
+	"plinius/internal/distributed"
+	"plinius/internal/mnist"
+	"plinius/internal/spot"
+)
+
+// Core framework types.
+type (
+	// Config parameterises a Framework; see the field docs in the
+	// underlying type.
+	Config = core.Config
+	// Framework is a live Plinius instance.
+	Framework = core.Framework
+	// ServerProfile bundles one evaluation machine's cost models.
+	ServerProfile = core.ServerProfile
+	// StepTiming is a save/restore latency breakdown (Fig. 7 bars).
+	StepTiming = core.StepTiming
+	// SpotTrainer adapts a Framework to the spot simulator.
+	SpotTrainer = core.SpotTrainer
+	// Dataset is a labelled image set.
+	Dataset = mnist.Dataset
+	// SpotTrace is a spot-instance price trace.
+	SpotTrace = spot.Trace
+	// SpotConfig parameterises a spot training simulation.
+	SpotConfig = spot.Config
+	// SpotResult summarises a spot training simulation.
+	SpotResult = spot.Result
+)
+
+// Sentinel errors re-exported for matching with errors.Is.
+var (
+	ErrNoDataset   = core.ErrNoDataset
+	ErrCrashedDown = core.ErrCrashedDown
+	ErrNotCrashed  = core.ErrNotCrashed
+)
+
+// New builds a Framework: enclave creation, remote attestation and key
+// provisioning, PM mapping through SGX-Romulus, and enclave model
+// construction.
+func New(cfg Config) (*Framework, error) { return core.New(cfg) }
+
+// SGXEmlPM returns the paper's sgx-emlPM server profile (real SGX, PM
+// emulated on a ramdisk).
+func SGXEmlPM() ServerProfile { return core.SGXEmlPM() }
+
+// EmlSGXPM returns the paper's emlSGX-PM server profile (SGX in
+// simulation mode, real Optane PM).
+func EmlSGXPM() ServerProfile { return core.EmlSGXPM() }
+
+// MNISTConfig returns the Darknet .cfg text of an n-conv-layer LReLU
+// CNN for 28x28 grayscale 10-class inputs — the paper's model family.
+func MNISTConfig(convLayers, filters, batch int) string {
+	return darknet.MNISTConfig(convLayers, filters, batch)
+}
+
+// SyntheticModelConfig returns a model config with approximately the
+// given parameter footprint in bytes (the Fig. 7 size sweep).
+func SyntheticModelConfig(targetBytes int) (string, error) {
+	return core.SyntheticModelConfig(targetBytes)
+}
+
+// SyntheticDataset generates n labelled synthetic digit images
+// deterministically from seed (the repository's offline stand-in for
+// MNIST; ReadIDXDataset accepts real MNIST files).
+func SyntheticDataset(n int, seed int64) *Dataset { return mnist.Synthetic(n, seed) }
+
+// ReadIDXDataset reads paired IDX image and label streams (the real
+// MNIST file format).
+func ReadIDXDataset(images, labels io.Reader) (*Dataset, error) {
+	return mnist.ReadIDX(images, labels)
+}
+
+// WriteIDXDataset serialises a dataset as paired IDX image and label
+// streams (the real MNIST file format).
+func WriteIDXDataset(images, labels io.Writer, ds *Dataset) error {
+	if err := mnist.WriteIDXImages(images, ds); err != nil {
+		return err
+	}
+	return mnist.WriteIDXLabels(labels, ds)
+}
+
+// SyntheticSpotTrace generates a spot price trace with the paper's
+// 5-minute interval structure.
+func SyntheticSpotTrace(points int, base, volatility float64, seed int64) SpotTrace {
+	return spot.Synthetic(points, base, volatility, seed)
+}
+
+// ParseSpotTrace reads a "minutes,price" CSV trace.
+func ParseSpotTrace(r io.Reader) (SpotTrace, error) { return spot.ParseCSV(r) }
+
+// RunSpot drives a trainer through a price trace, killing and resuming
+// it as the market price crosses the bid (Fig. 10).
+func RunSpot(t SpotTrace, cfg SpotConfig, tr spot.Trainer) (SpotResult, error) {
+	return spot.Run(t, cfg, tr)
+}
+
+// Distributed training (the paper's §VIII future-work direction):
+// synchronous data-parallel training across multiple secure nodes with
+// model averaging, each node with its own enclave, PM device and
+// crash-durable mirror.
+type (
+	// Cluster coordinates data-parallel Plinius workers.
+	Cluster = distributed.Cluster
+	// ClusterConfig parameterises a cluster.
+	ClusterConfig = distributed.Config
+)
+
+// NewCluster builds a worker per node and shards the dataset.
+func NewCluster(cfg ClusterConfig, ds *Dataset) (*Cluster, error) {
+	return distributed.NewCluster(cfg, ds)
+}

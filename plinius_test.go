@@ -1,0 +1,115 @@
+package plinius_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"plinius"
+)
+
+// The root-package tests exercise the public API exactly as a
+// downstream user would.
+
+func TestPublicAPITrainAndRecover(t *testing.T) {
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(1, 4, 16),
+		PMBytes:     16 << 20,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := f.LoadDataset(plinius.SyntheticDataset(100, 1)); err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	if err := f.Train(5, nil); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f.Crash()
+	if err := f.Train(6, nil); !errors.Is(err, plinius.ErrCrashedDown) {
+		t.Fatalf("Train crashed = %v, want ErrCrashedDown", err)
+	}
+	if err := f.Recover(true); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if f.Iteration() != 5 {
+		t.Fatalf("Iteration = %d, want 5", f.Iteration())
+	}
+}
+
+func TestPublicAPIMissingDataset(t *testing.T) {
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(1, 4, 16),
+		PMBytes:     16 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := f.Train(1, nil); !errors.Is(err, plinius.ErrNoDataset) {
+		t.Fatalf("Train = %v, want ErrNoDataset", err)
+	}
+}
+
+func TestPublicAPIServerProfiles(t *testing.T) {
+	a := plinius.SGXEmlPM()
+	b := plinius.EmlSGXPM()
+	if a.Name == b.Name {
+		t.Fatal("server profiles indistinguishable")
+	}
+	if !a.Enclave.HardwareSGX || b.Enclave.HardwareSGX {
+		t.Fatal("SGX hardware flags wrong way around")
+	}
+}
+
+func TestPublicAPIIDXDataset(t *testing.T) {
+	ds := plinius.SyntheticDataset(10, 3)
+	var imgs, lbls bytes.Buffer
+	if err := plinius.WriteIDXDataset(&imgs, &lbls, ds); err != nil {
+		t.Fatalf("WriteIDXDataset: %v", err)
+	}
+	got, err := plinius.ReadIDXDataset(&imgs, &lbls)
+	if err != nil {
+		t.Fatalf("ReadIDXDataset: %v", err)
+	}
+	if got.N != 10 {
+		t.Fatalf("N = %d, want 10", got.N)
+	}
+}
+
+func TestPublicAPISpotSimulation(t *testing.T) {
+	trace := plinius.SyntheticSpotTrace(20, 0.09, 0.004, 5)
+	if len(trace.Prices) != 20 {
+		t.Fatalf("trace has %d points", len(trace.Prices))
+	}
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(1, 4, 16),
+		PMBytes:     16 << 20,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := f.LoadDataset(plinius.SyntheticDataset(100, 5)); err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	res, err := plinius.RunSpot(trace, plinius.SpotConfig{
+		MaxBid: 10, TargetIters: 4, ItersPerInterval: 2,
+	}, &plinius.SpotTrainer{F: f})
+	if err != nil {
+		t.Fatalf("RunSpot: %v", err)
+	}
+	if !res.Completed || res.Iterations != 4 {
+		t.Fatalf("spot run: completed=%v iters=%d", res.Completed, res.Iterations)
+	}
+}
+
+func TestPublicAPISyntheticModelConfig(t *testing.T) {
+	cfg, err := plinius.SyntheticModelConfig(2 << 20)
+	if err != nil {
+		t.Fatalf("SyntheticModelConfig: %v", err)
+	}
+	if cfg == "" {
+		t.Fatal("empty config")
+	}
+}
