@@ -6,12 +6,18 @@
 package plinius_test
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"plinius/internal/core"
+	"plinius/internal/darknet"
 	"plinius/internal/experiments"
+	"plinius/internal/mnist"
 	"plinius/internal/pm"
 	"plinius/internal/romulus"
+	"plinius/internal/serve"
 	"plinius/internal/spot"
 	"plinius/internal/storage"
 )
@@ -253,6 +259,61 @@ func BenchmarkSPSFlushKinds(b *testing.B) {
 	b.ReportMetric(clflush, "clflush-swaps/us")
 	b.ReportMetric(opt, "clflushopt-swaps/us")
 	b.ReportMetric(clwb, "clwb-swaps/us")
+}
+
+// BenchmarkServeThroughput measures the serving subsystem's
+// requests/sec across micro-batch size caps and worker pool sizes (the
+// serving perf baseline; metric req/s). Clients submit concurrently so
+// the dynamic batcher actually coalesces.
+func BenchmarkServeThroughput(b *testing.B) {
+	f, err := core.New(core.Config{
+		ModelConfig: darknet.MNISTConfig(1, 8, 32),
+		PMBytes:     64 << 20,
+		Seed:        5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := mnist.Synthetic(256, 5)
+	if err := f.LoadDataset(ds); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Train(4, nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("w%d/b%d", workers, batch), func(b *testing.B) {
+				s, err := serve.New(f, serve.Options{Workers: workers, MaxBatch: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				// Enough concurrent clients to fill the largest batch,
+				// so big-batch rows are not timer-bound.
+				const clients = 32
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for i := c; i < b.N; i += clients {
+							if _, err := s.Classify(context.Background(), ds.Image(i%ds.N)); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				b.StopTimer()
+				st := s.Stats()
+				b.ReportMetric(st.Throughput, "req/s")
+				b.ReportMetric(st.AvgBatch, "avg-batch")
+			})
+		}
+	}
 }
 
 // BenchmarkFIOGrid exercises the FIO generator itself.

@@ -1,0 +1,175 @@
+// Command plinius-serve trains a CNN in the enclave and serves
+// classification requests from it: dynamic micro-batching in front of
+// a pool of enclave worker replicas, each restored from the encrypted
+// PM mirror.
+//
+// With -addr it exposes a minimal HTTP endpoint:
+//
+//	POST /classify {"image":[784 floats in [0,1]]}
+//	  -> {"class":7,"latency_us":412,"batch_size":5,"worker":2}
+//	GET  /stats -> serving counters
+//	GET  /healthz
+//
+// Without -addr it runs an in-process load generator and prints the
+// throughput/latency baseline:
+//
+//	plinius-serve -workers 4 -max-batch 32 -requests 20000 -clients 64
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"plinius"
+)
+
+func main() {
+	var (
+		iters      = flag.Int("iters", 50, "training iterations before serving")
+		layers     = flag.Int("layers", 2, "convolutional layers")
+		filters    = flag.Int("filters", 8, "filters per conv layer")
+		batch      = flag.Int("batch", 64, "training batch size")
+		dataset    = flag.Int("dataset", 2000, "synthetic training samples")
+		seed       = flag.Int64("seed", 42, "random seed")
+		workers    = flag.Int("workers", 4, "enclave inference replicas")
+		maxBatch   = flag.Int("max-batch", 32, "micro-batch size cap")
+		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
+		addr       = flag.String("addr", "", "HTTP listen address (e.g. :8080); empty runs the load generator")
+		requests   = flag.Int("requests", 10000, "load-generator request count")
+		clients    = flag.Int("clients", 64, "load-generator concurrent clients")
+	)
+	flag.Parse()
+
+	if err := run(*iters, *layers, *filters, *batch, *dataset, *seed,
+		*workers, *maxBatch, *maxLatency, *addr, *requests, *clients); err != nil {
+		fmt.Fprintln(os.Stderr, "plinius-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(iters, layers, filters, batch, dataset int, seed int64,
+	workers, maxBatch int, maxLatency time.Duration, addr string, requests, clients int) error {
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	ds := plinius.SyntheticDataset(dataset, seed)
+	if err := f.LoadDataset(ds); err != nil {
+		return err
+	}
+	fmt.Printf("training %d iterations in the enclave...\n", iters)
+	if err := f.Train(iters, nil); err != nil {
+		return err
+	}
+
+	srv, err := plinius.Serve(f, plinius.ServerOptions{
+		Workers:         workers,
+		MaxBatch:        maxBatch,
+		MaxQueueLatency: maxLatency,
+		Seed:            seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("serving iteration-%d model on %d enclave replicas (max batch %d, max queue latency %v)\n",
+		srv.Iteration(), srv.Workers(), maxBatch, maxLatency)
+
+	if addr != "" {
+		return serveHTTP(srv, addr)
+	}
+	return loadgen(srv, ds, requests, clients)
+}
+
+// serveHTTP exposes the server over a minimal JSON HTTP API.
+func serveHTTP(srv *plinius.Server, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Image []float32 `json:"image"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pred, err := srv.Classify(r.Context(), req.Image)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, plinius.ErrServerClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, plinius.ErrBadImage):
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"class":      pred.Class,
+			"latency_us": pred.Latency.Microseconds(),
+			"batch_size": pred.BatchSize,
+			"worker":     pred.Worker,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := srv.Stats()
+		json.NewEncoder(w).Encode(map[string]any{
+			"requests":       st.Requests,
+			"batches":        st.Batches,
+			"avg_batch":      st.AvgBatch,
+			"avg_latency_us": st.AvgLatency.Microseconds(),
+			"max_latency_us": st.MaxLatency.Microseconds(),
+			"req_per_sec":    st.Throughput,
+			"uptime_sec":     st.Uptime.Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	fmt.Printf("listening on %s\n", addr)
+	return http.ListenAndServe(addr, mux)
+}
+
+// loadgen drives the in-process server with concurrent clients and
+// prints the serving baseline.
+func loadgen(srv *plinius.Server, ds *plinius.Dataset, requests, clients int) error {
+	fmt.Printf("load generator: %d requests from %d concurrent clients\n", requests, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < requests; i += clients {
+				if _, err := srv.Classify(context.Background(), ds.Image(i%ds.N)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := srv.Stats()
+	fmt.Printf("served %d requests in %v\n", st.Requests, elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput : %.0f req/s\n", float64(requests)/elapsed.Seconds())
+	fmt.Printf("  micro-batch: %.1f avg over %d batches\n", st.AvgBatch, st.Batches)
+	fmt.Printf("  latency    : avg %v, max %v\n",
+		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,3 @@
+module plinius
+
+go 1.22

@@ -88,6 +88,9 @@ func (f *Framework) MirrorSave() (StepTiming, error) {
 	if f.crashed {
 		return StepTiming{}, ErrCrashedDown
 	}
+	if !f.mirroring() {
+		return StepTiming{}, ErrMirroringOff
+	}
 	if err := f.attachMirror(); err != nil {
 		return StepTiming{}, err
 	}
@@ -109,6 +112,9 @@ func (f *Framework) MirrorSave() (StepTiming, error) {
 func (f *Framework) MirrorRestore() (StepTiming, error) {
 	if f.crashed {
 		return StepTiming{}, ErrCrashedDown
+	}
+	if !f.mirroring() {
+		return StepTiming{}, ErrMirroringOff
 	}
 	if err := f.attachMirror(); err != nil {
 		return StepTiming{}, err

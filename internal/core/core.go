@@ -94,9 +94,10 @@ const (
 
 // Framework errors.
 var (
-	ErrNoDataset   = errors.New("core: no dataset loaded; call LoadDataset first")
-	ErrNotCrashed  = errors.New("core: recover called on a live framework")
-	ErrCrashedDown = errors.New("core: framework is crashed; call Recover")
+	ErrNoDataset    = errors.New("core: no dataset loaded; call LoadDataset first")
+	ErrNotCrashed   = errors.New("core: recover called on a live framework")
+	ErrCrashedDown  = errors.New("core: framework is crashed; call Recover")
+	ErrMirroringOff = errors.New("core: mirroring is disabled (MirrorFreq < 0)")
 )
 
 // Framework is a live Plinius instance.
@@ -423,7 +424,11 @@ func (f *Framework) Recover(restoreNow bool) error {
 }
 
 // Infer classifies the test set with the trained enclave model and
-// returns the accuracy in [0,1] (§VI secure inference).
+// returns the accuracy in [0,1] (§VI secure inference). Samples are
+// classified in micro-batches of the model's configured batch size —
+// one network forward per chunk instead of per sample — which is
+// bit-identical to per-sample classification because every layer
+// processes samples independently.
 func (f *Framework) Infer(test *mnist.Dataset) (float64, error) {
 	if f.crashed {
 		return 0, ErrCrashedDown
@@ -431,15 +436,31 @@ func (f *Framework) Infer(test *mnist.Dataset) (float64, error) {
 	if err := test.Validate(); err != nil {
 		return 0, err
 	}
+	chunk := f.Net.Config.Batch
+	if chunk <= 0 {
+		chunk = 1
+	}
+	// Chunks are sliced at the dataset's stride; the network's own
+	// input check rejects a model whose input shape disagrees, as the
+	// per-sample path did.
+	in := mnist.Rows * mnist.Cols
 	correct := 0
 	err := f.Enclave.Ecall(func() error {
-		for i := 0; i < test.N; i++ {
-			cls, err := f.Net.Classify(test.Image(i))
+		for start := 0; start < test.N; start += chunk {
+			end := start + chunk
+			if end > test.N {
+				end = test.N
+			}
+			x := test.Images[start*in : end*in]
+			f.Enclave.Touch(4 * len(x))
+			classes, err := f.Net.ClassifyBatch(x, end-start)
 			if err != nil {
 				return err
 			}
-			if cls == test.Labels[i] {
-				correct++
+			for i, cls := range classes {
+				if cls == test.Labels[start+i] {
+					correct++
+				}
 			}
 		}
 		return nil
@@ -448,6 +469,47 @@ func (f *Framework) Infer(test *mnist.Dataset) (float64, error) {
 		return 0, fmt.Errorf("core: inference: %w", err)
 	}
 	return float64(correct) / float64(test.N), nil
+}
+
+// Classify classifies one image with the enclave model (the §VI
+// request path: the input never leaves the enclave unencrypted).
+func (f *Framework) Classify(image []float32) (int, error) {
+	classes, err := f.ClassifyBatch(image)
+	if err != nil {
+		return 0, err
+	}
+	return classes[0], nil
+}
+
+// ClassifyBatch classifies the images laid out contiguously in one
+// network forward (the serving micro-batch path) and returns one class
+// per image.
+func (f *Framework) ClassifyBatch(images []float32) ([]int, error) {
+	if f.crashed {
+		return nil, ErrCrashedDown
+	}
+	return classifyBatch(f.Enclave, f.Net, images)
+}
+
+// classifyBatch is the shared enclave micro-batch forward used by both
+// the Framework and its serving Replicas: validate the layout, charge
+// EPC for the staged batch, one ecall, one forward.
+func classifyBatch(encl *enclave.Enclave, net *darknet.Network, images []float32) ([]int, error) {
+	in := net.InputSize()
+	if len(images) == 0 || len(images)%in != 0 {
+		return nil, fmt.Errorf("core: classify: %d floats is not a positive multiple of the %d-float input", len(images), in)
+	}
+	var classes []int
+	err := encl.Ecall(func() error {
+		encl.Touch(4 * len(images))
+		cs, err := net.ClassifyBatch(images, len(images)/in)
+		classes = cs
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: inference: %w", err)
+	}
+	return classes, nil
 }
 
 // Iteration returns the model's completed iteration count.

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"strings"
+
+	"plinius/internal/darknet"
+	"plinius/internal/enclave"
+	"plinius/internal/engine"
+	"plinius/internal/mirror"
+)
+
+// Replica is a read-only enclave inference worker (the serving-side
+// unit of internal/serve). Each replica runs in its own enclave with
+// its own encryption engine and its own copy of the model, restored
+// from the encrypted persistent mirror exactly like crash recovery
+// (Algorithm 3, mirror_in): the parameters travel from PM to the
+// replica enclave only in sealed form. Replicas never write to PM, so
+// any number of them can share one framework's PM device.
+//
+// A Replica's methods are single-goroutine, like the training loop
+// they are built from (the engine's *Scratch buffers and the network's
+// activation caches are not shared-safe); run one goroutine per
+// replica and as many replicas as desired.
+type Replica struct {
+	Enclave *enclave.Enclave
+	eng     *engine.Engine
+	net     *darknet.Network
+	mir     *mirror.Model
+
+	reserved int
+	closed   bool
+}
+
+// Replica errors.
+var (
+	ErrNoServableModel = errors.New("core: no persistent model in PM to serve; train or MirrorSave first")
+	ErrReplicaClosed   = errors.New("core: replica is closed")
+)
+
+// NewReplica spins up one inference replica: a fresh enclave is
+// created and attested, the owner provisions the same data key over
+// the attestation channel (Fig. 5 steps 2-3), and the model is
+// restored from the persistent mirror. The framework must have a
+// mirrored model in PM (Train with mirroring on, or MirrorSave).
+// seed differentiates the replica's enclave RNG.
+func (f *Framework) NewReplica(seed int64) (*Replica, error) {
+	if f.crashed {
+		return nil, ErrCrashedDown
+	}
+	if !f.mirroring() || !mirror.Exists(f.Rom) {
+		return nil, ErrNoServableModel
+	}
+	r := &Replica{}
+	r.Enclave = enclave.New(f.cfg.Server.Enclave, enclave.WithSeed(seed))
+
+	// Attest the replica enclave and provision the data key through the
+	// wrapped-key channel, as for the training enclave.
+	sess, quote, err := r.Enclave.BeginAttestation()
+	if err != nil {
+		return nil, fmt.Errorf("core: replica attestation: %w", err)
+	}
+	owner, err := enclave.NewOwner(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("core: replica owner: %w", err)
+	}
+	ownerChannel, err := owner.VerifyQuote(quote, enclave.PliniusMeasurement())
+	if err != nil {
+		return nil, fmt.Errorf("core: replica quote: %w", err)
+	}
+	wrapped, err := engine.WrapKey(ownerChannel, f.key, rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("core: replica wrap key: %w", err)
+	}
+	var key []byte
+	err = r.Enclave.Ecall(func() error {
+		ch, err := sess.CompleteAttestation(owner.PublicKey())
+		if err != nil {
+			return err
+		}
+		key, err = engine.UnwrapKey(ch, wrapped)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: replica key provisioning: %w", err)
+	}
+	r.eng, err = engine.New(key, engine.WithEnclave(r.Enclave))
+	if err != nil {
+		return nil, fmt.Errorf("core: replica engine: %w", err)
+	}
+
+	// Build the replica's enclave model (random weights) and overwrite
+	// it from the persistent mirror.
+	net, err := darknet.ParseConfig(strings.NewReader(f.cfg.ModelConfig),
+		mrand.New(mrand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("core: replica model config: %w", err)
+	}
+	err = r.Enclave.Ecall(func() error {
+		r.net = net
+		r.reserved = net.ParamBytes() + f.cfg.TrainOverheadBytes
+		if err := r.Enclave.Reserve(r.reserved); err != nil {
+			return err
+		}
+		m, err := mirror.OpenModel(f.Rom, r.eng, mirror.WithEnclave(r.Enclave))
+		if err != nil {
+			return err
+		}
+		if _, err := m.MirrorIn(r.net); err != nil {
+			return err
+		}
+		r.mir = m
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: replica restore: %w", err)
+	}
+	return r, nil
+}
+
+// ClassifyBatch classifies the images laid out contiguously in one
+// network forward inside the replica enclave and returns one class per
+// image.
+func (r *Replica) ClassifyBatch(images []float32) ([]int, error) {
+	if r.closed {
+		return nil, ErrReplicaClosed
+	}
+	return classifyBatch(r.Enclave, r.net, images)
+}
+
+// Refresh re-reads the persistent mirror, picking up any model update
+// mirrored since the replica was built (e.g. continued training), and
+// returns the restored iteration. Must not race with a concurrent
+// MirrorOut.
+func (r *Replica) Refresh() (int, error) {
+	if r.closed {
+		return 0, ErrReplicaClosed
+	}
+	var iter int
+	err := r.Enclave.Ecall(func() error {
+		it, err := r.mir.MirrorIn(r.net)
+		iter = it
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: replica refresh: %w", err)
+	}
+	return iter, nil
+}
+
+// Iteration returns the training iteration of the restored model.
+func (r *Replica) Iteration() int { return r.net.Iteration }
+
+// InputSize returns the flattened per-image input size.
+func (r *Replica) InputSize() int { return r.net.InputSize() }
+
+// Close tears down the replica enclave, releasing its EPC footprint.
+func (r *Replica) Close() error {
+	if r.closed {
+		return ErrReplicaClosed
+	}
+	r.closed = true
+	if r.reserved > 0 {
+		if err := r.Enclave.Free(r.reserved); err != nil {
+			return err
+		}
+		r.reserved = 0
+	}
+	return nil
+}

@@ -193,13 +193,34 @@ func (n *Network) Classify(x []float32) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return argmax(probs), nil
+}
+
+// ClassifyBatch classifies batch samples laid out contiguously in x
+// with a single forward pass and returns the argmax class of each.
+// Every layer processes samples independently, so the results are
+// bit-identical to batch calls of Classify.
+func (n *Network) ClassifyBatch(x []float32, batch int) ([]int, error) {
+	probs, err := n.Forward(x, batch, false)
+	if err != nil {
+		return nil, err
+	}
+	outs := n.OutputSize()
+	classes := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		classes[b] = argmax(probs[b*outs : (b+1)*outs])
+	}
+	return classes, nil
+}
+
+func argmax(v []float32) int {
 	best := 0
-	for i, p := range probs {
-		if p > probs[best] {
+	for i, p := range v {
+		if p > v[best] {
 			best = i
 		}
 	}
-	return best, nil
+	return best
 }
 
 // InputSize returns the flattened input size per sample.

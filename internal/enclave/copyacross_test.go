@@ -46,22 +46,31 @@ func TestCopyAcrossIgnoresNonPositive(t *testing.T) {
 	}
 }
 
-func TestTouchScalesWithExcessRatio(t *testing.T) {
-	// The paging cost for the same access grows as the footprint grows
-	// further past the EPC limit.
-	costAt := func(footprint int) time.Duration {
+func TestTouchKneeAtEPCLimit(t *testing.T) {
+	// The paging model is a sharp knee (Fig. 7): a cyclically streamed
+	// working set misses on every page once it exceeds the usable EPC,
+	// so the cost jumps from zero to pages*PageSwapCost at the limit
+	// and then scales with the bytes touched, not with the excess.
+	costAt := func(footprint, touch int) time.Duration {
 		clk := simclock.New()
 		e := New(SGXEmlPMProfile(), WithClock(clk), WithSeed(1))
 		if err := e.Reserve(footprint); err != nil {
 			t.Fatalf("Reserve: %v", err)
 		}
-		e.Touch(32 << 20)
+		e.Touch(touch)
 		return clk.Modeled()
 	}
-	just := costAt(UsableEPC + (5 << 20))
-	far := costAt(UsableEPC + (100 << 20))
-	if !(far > just && just > 0) {
-		t.Fatalf("paging cost not monotone in excess: just=%v far=%v", just, far)
+	if got := costAt(UsableEPC, 32<<20); got != 0 {
+		t.Fatalf("at the limit charged %v, want 0", got)
+	}
+	just := costAt(UsableEPC+(5<<20), 32<<20)
+	far := costAt(UsableEPC+(100<<20), 32<<20)
+	wantFaults := time.Duration((32<<20)/PageSize) * SGXEmlPMProfile().PageSwapCost
+	if just != wantFaults || far != wantFaults {
+		t.Fatalf("past-limit cost = %v / %v, want all-miss %v", just, far, wantFaults)
+	}
+	if big := costAt(UsableEPC+(5<<20), 64<<20); big <= just {
+		t.Fatalf("paging cost not monotone in bytes touched: %v <= %v", big, just)
 	}
 }
 

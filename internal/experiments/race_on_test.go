@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. Tests that
+// assert wall-clock cost ratios (real AES vs real compute) skip under
+// the detector: its instrumentation slows pure-Go loops by an order of
+// magnitude while assembler crypto is barely touched, which distorts
+// exactly the ratios those tests check.
+const raceEnabled = true

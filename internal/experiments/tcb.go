@@ -41,6 +41,10 @@ var untrustedPackages = map[string]bool{
 	"spot":        true,
 	"simclock":    true,
 	"experiments": true,
+	// The serving front end (request queueing and micro-batch
+	// marshalling) is untrusted-runtime plumbing; classification
+	// itself runs in the replica enclaves (core.Replica).
+	"serve": true,
 }
 
 // TCBResult is the LOC split.

@@ -1,0 +1,357 @@
+// Package serve implements the Plinius secure inference serving
+// subsystem: the paper's §VI secure classification turned into a
+// request-level model server.
+//
+// A Server accepts single-image classification requests concurrently,
+// coalesces them into dynamic micro-batches — a batch is dispatched
+// when it reaches Options.MaxBatch or when its oldest request has
+// waited Options.MaxQueueLatency — and fans the batches out to a pool
+// of enclave worker replicas. Each replica is its own enclave with its
+// own encryption engine and its own copy of the model restored from
+// the encrypted persistent mirror (core.Replica), so workers share no
+// mutable state and scale across cores while parameters and inputs
+// stay inside enclave memory, exactly as in the single-enclave
+// experiment.
+//
+// Dispatch preserves the model's math: every layer processes batch
+// samples independently, so a request's predicted class is identical
+// whatever batch it lands in and identical to sequential
+// Framework.Infer.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plinius/internal/core"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxBatch        = 32
+	DefaultMaxQueueLatency = 2 * time.Millisecond
+	DefaultQueueDepth      = 1024
+)
+
+// Options parameterises a Server.
+type Options struct {
+	// Workers is the number of enclave inference replicas (default 1).
+	Workers int
+	// MaxBatch is the micro-batch size at which a batch dispatches
+	// without waiting (default 32).
+	MaxBatch int
+	// MaxQueueLatency bounds how long a queued request may wait for
+	// its batch to fill before the batch is flushed anyway (default
+	// 2ms). Lower values favour latency, higher values throughput.
+	MaxQueueLatency time.Duration
+	// QueueDepth is the request queue capacity; Classify blocks (or
+	// honours its context) while the queue is full (default 1024).
+	QueueDepth int
+	// Seed differentiates the replica enclaves' RNGs (IVs etc.).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxQueueLatency <= 0 {
+		o.MaxQueueLatency = DefaultMaxQueueLatency
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	return o
+}
+
+// Prediction is the answer to one classification request.
+type Prediction struct {
+	// Class is the predicted class index.
+	Class int
+	// Latency is the request's end-to-end time in the server, from
+	// enqueue to classification.
+	Latency time.Duration
+	// BatchSize is the size of the micro-batch the request rode in.
+	BatchSize int
+	// Worker is the index of the replica that served the request.
+	Worker int
+}
+
+// Server errors.
+var (
+	ErrClosed   = errors.New("serve: server is closed")
+	ErrBadImage = errors.New("serve: image does not match the model input size")
+)
+
+type request struct {
+	image []float32
+	enq   time.Time
+	done  chan result
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+// refreshCall asks a worker to re-restore its replica from PM inside
+// the worker goroutine, so refreshes serialize with classification.
+type refreshCall struct {
+	ack chan refreshReply
+}
+
+type refreshReply struct {
+	iter int
+	err  error
+}
+
+// Server is a running inference service over one trained framework.
+type Server struct {
+	opts      Options
+	inputSize int
+	replicas  []*core.Replica
+
+	reqCh     chan *request
+	batchCh   chan []*request
+	refreshCh []chan refreshCall // one per worker
+	wg        sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed; held shared across enqueues
+	closed bool
+	iter   atomic.Int64 // training iteration of the served model
+
+	stats statsCollector
+}
+
+// New builds and starts a Server on f's model. The current enclave
+// parameters are first mirrored out to PM (so serving sees exactly the
+// weights f holds), then Options.Workers replicas are attested,
+// provisioned and restored from that mirror. The framework must keep
+// mirroring enabled; it must not Train concurrently with serving.
+func New(f *core.Framework, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if _, err := f.MirrorSave(); err != nil {
+		return nil, fmt.Errorf("serve: publish model to PM: %w", err)
+	}
+	s := &Server{
+		opts:      opts,
+		inputSize: f.Net.InputSize(),
+		reqCh:     make(chan *request, opts.QueueDepth),
+		batchCh:   make(chan []*request),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		rep, err := f.NewReplica(opts.Seed + int64(i) + 1)
+		if err != nil {
+			for _, r := range s.replicas {
+				_ = r.Close()
+			}
+			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+		}
+		s.replicas = append(s.replicas, rep)
+	}
+	s.iter.Store(int64(s.replicas[0].Iteration()))
+	s.stats.start = time.Now()
+	s.wg.Add(1 + opts.Workers)
+	go s.batcher()
+	for i, rep := range s.replicas {
+		ch := make(chan refreshCall)
+		s.refreshCh = append(s.refreshCh, ch)
+		go s.worker(i, rep, ch)
+	}
+	return s, nil
+}
+
+// Classify submits one image and blocks until its micro-batch has been
+// served or ctx is done. The image must stay unmodified for the
+// duration of the call (it is copied into the batch buffer only at
+// dispatch).
+func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, error) {
+	if len(image) != s.inputSize {
+		return Prediction{}, fmt.Errorf("%w: got %d floats, want %d", ErrBadImage, len(image), s.inputSize)
+	}
+	req := &request{image: image, enq: time.Now(), done: make(chan result, 1)}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	// The shared lock is held across the send so Close cannot close
+	// reqCh between the check and the enqueue; the batcher keeps
+	// draining until Close, so a full queue cannot deadlock Close.
+	select {
+	case s.reqCh <- req:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return Prediction{}, ctx.Err()
+	}
+
+	select {
+	case res := <-req.done:
+		return res.pred, res.err
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// batcher coalesces queued requests into micro-batches: a batch goes
+// out when it reaches MaxBatch or when its first request has waited
+// MaxQueueLatency.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.batchCh)
+	var (
+		batch  []*request
+		timer  *time.Timer
+		timerC <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if len(batch) > 0 {
+			s.batchCh <- batch
+			batch = nil
+		}
+	}
+	for {
+		select {
+		case req, ok := <-s.reqCh:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, req)
+			if len(batch) >= s.opts.MaxBatch {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(s.opts.MaxQueueLatency)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		}
+	}
+}
+
+// worker serves micro-batches on one enclave replica: copy the images
+// into the contiguous batch buffer, one network forward in the
+// replica enclave, then deliver per-request results. Refresh calls run
+// in the same loop, so they never race with classification.
+func (s *Server) worker(id int, rep *core.Replica, refresh <-chan refreshCall) {
+	defer s.wg.Done()
+	buf := make([]float32, s.opts.MaxBatch*s.inputSize)
+	for {
+		select {
+		case batch, ok := <-s.batchCh:
+			if !ok {
+				return
+			}
+			n := len(batch)
+			for i, req := range batch {
+				copy(buf[i*s.inputSize:(i+1)*s.inputSize], req.image)
+			}
+			classes, err := rep.ClassifyBatch(buf[:n*s.inputSize])
+			now := time.Now()
+			for i, req := range batch {
+				if err != nil {
+					req.done <- result{err: err}
+					continue
+				}
+				pred := Prediction{
+					Class:     classes[i],
+					Latency:   now.Sub(req.enq),
+					BatchSize: n,
+					Worker:    id,
+				}
+				s.stats.record(pred)
+				req.done <- result{pred: pred}
+			}
+			if err == nil {
+				s.stats.recordBatch()
+			}
+		case call := <-refresh:
+			iter, err := rep.Refresh()
+			call.ack <- refreshReply{iter: iter, err: err}
+		}
+	}
+}
+
+// Close stops accepting requests, serves everything already queued or
+// in flight, tears down the replicas and returns. Subsequent Classify
+// and Close calls return ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.reqCh)
+	s.wg.Wait()
+	var firstErr error
+	for _, r := range s.replicas {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Workers returns the number of enclave replicas.
+func (s *Server) Workers() int { return len(s.replicas) }
+
+// Iteration returns the training iteration of the served model.
+func (s *Server) Iteration() int { return int(s.iter.Load()) }
+
+// Refresh re-reads the persistent mirror on every replica, picking up
+// a model update mirrored since the server started (e.g. after more
+// training and a MirrorSave). Each replica refreshes inside its worker
+// goroutine, so in-flight batches and the refresh never interleave on
+// one replica; the server keeps serving on the other replicas
+// meanwhile. Refresh must not run concurrently with a MirrorOut.
+//
+// Every replica is attempted even if one fails; on error the pool may
+// be serving mixed model versions (Iteration still reports the old
+// one) — retry Refresh or Close the server.
+func (s *Server) Refresh() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	iter := 0
+	var firstErr error
+	for _, ch := range s.refreshCh {
+		call := refreshCall{ack: make(chan refreshReply, 1)}
+		ch <- call
+		reply := <-call.ack
+		if reply.err != nil {
+			if firstErr == nil {
+				firstErr = reply.err
+			}
+			continue
+		}
+		iter = reply.iter
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	s.iter.Store(int64(iter))
+	return iter, nil
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats is a snapshot of a Server's serving counters.
+type Stats struct {
+	// Requests is the number of requests served successfully.
+	Requests uint64
+	// Batches is the number of micro-batches dispatched.
+	Batches uint64
+	// AvgBatch is the mean micro-batch size.
+	AvgBatch float64
+	// AvgLatency and MaxLatency summarise request end-to-end time in
+	// the server (enqueue to classification).
+	AvgLatency time.Duration
+	MaxLatency time.Duration
+	// Throughput is requests per second since the server started.
+	Throughput float64
+	// Uptime is the time since the server started.
+	Uptime time.Duration
+}
+
+// statsCollector accumulates counters across worker goroutines.
+type statsCollector struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests uint64
+	batches  uint64
+	latSum   time.Duration
+	latMax   time.Duration
+}
+
+func (c *statsCollector) record(p Prediction) {
+	c.mu.Lock()
+	c.requests++
+	c.latSum += p.Latency
+	if p.Latency > c.latMax {
+		c.latMax = p.Latency
+	}
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) recordBatch() {
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Requests: c.requests,
+		Batches:  c.batches,
+		Uptime:   time.Since(c.start),
+	}
+	if c.batches > 0 {
+		s.AvgBatch = float64(c.requests) / float64(c.batches)
+	}
+	if c.requests > 0 {
+		s.AvgLatency = c.latSum / time.Duration(c.requests)
+		s.MaxLatency = c.latMax
+		if secs := s.Uptime.Seconds(); secs > 0 {
+			s.Throughput = float64(c.requests) / secs
+		}
+	}
+	return s
+}

@@ -28,6 +28,7 @@ import (
 	"plinius/internal/darknet"
 	"plinius/internal/distributed"
 	"plinius/internal/mnist"
+	"plinius/internal/serve"
 	"plinius/internal/spot"
 )
 
@@ -119,6 +120,38 @@ func ParseSpotTrace(r io.Reader) (SpotTrace, error) { return spot.ParseCSV(r) }
 // it as the market price crosses the bid (Fig. 10).
 func RunSpot(t SpotTrace, cfg SpotConfig, tr spot.Trainer) (SpotResult, error) {
 	return spot.Run(t, cfg, tr)
+}
+
+// Secure inference serving: request-level classification with dynamic
+// micro-batching over a pool of enclave worker replicas, each restored
+// from the encrypted PM mirror (the production shape of the paper's
+// §VI secure-classification experiment).
+type (
+	// Server is a running secure inference service.
+	Server = serve.Server
+	// ServerOptions parameterises a Server (workers, batching).
+	ServerOptions = serve.Options
+	// Prediction is the answer to one classification request.
+	Prediction = serve.Prediction
+	// ServerStats is a snapshot of a Server's counters.
+	ServerStats = serve.Stats
+	// Replica is a single enclave inference worker.
+	Replica = core.Replica
+)
+
+// Serving errors re-exported for matching with errors.Is.
+var (
+	ErrServerClosed    = serve.ErrClosed
+	ErrBadImage        = serve.ErrBadImage
+	ErrNoServableModel = core.ErrNoServableModel
+)
+
+// Serve publishes f's current model to PM and starts an inference
+// server over it: opts.Workers attested enclave replicas each restore
+// the sealed model from the mirror and serve dynamic micro-batches.
+// Close the server before training f further.
+func Serve(f *Framework, opts ServerOptions) (*Server, error) {
+	return serve.New(f, opts)
 }
 
 // Distributed training (the paper's §VIII future-work direction):

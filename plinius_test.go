@@ -2,6 +2,7 @@ package plinius_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -111,5 +112,50 @@ func TestPublicAPISyntheticModelConfig(t *testing.T) {
 	}
 	if cfg == "" {
 		t.Fatal("empty config")
+	}
+}
+
+func TestPublicAPIServe(t *testing.T) {
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(1, 4, 16),
+		PMBytes:     32 << 20,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ds := plinius.SyntheticDataset(128, 9)
+	if err := f.LoadDataset(ds); err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	if err := f.Train(4, nil); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	srv, err := plinius.Serve(f, plinius.ServerOptions{Workers: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	pred, err := srv.Classify(context.Background(), ds.Image(0))
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if pred.Class < 0 || pred.Class >= 10 {
+		t.Fatalf("implausible class %d", pred.Class)
+	}
+	want, err := f.Classify(ds.Image(0))
+	if err != nil {
+		t.Fatalf("sequential Classify: %v", err)
+	}
+	if pred.Class != want {
+		t.Fatalf("served class %d, sequential class %d", pred.Class, want)
+	}
+	if st := srv.Stats(); st.Requests != 1 {
+		t.Fatalf("stats requests = %d, want 1", st.Requests)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := srv.Classify(context.Background(), ds.Image(0)); !errors.Is(err, plinius.ErrServerClosed) {
+		t.Fatalf("post-close Classify = %v, want ErrServerClosed", err)
 	}
 }
