@@ -278,13 +278,13 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if err := f.LoadDataset(ds); err != nil {
 		b.Fatal(err)
 	}
-	if err := f.Train(4, nil); err != nil {
+	if err := f.TrainIters(4, nil); err != nil {
 		b.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
 		for _, batch := range []int{1, 8, 32} {
 			b.Run(fmt.Sprintf("w%d/b%d", workers, batch), func(b *testing.B) {
-				s, err := serve.New(f, serve.Options{Workers: workers, MaxBatch: batch})
+				s, err := serve.New(context.Background(), f, serve.Options{Workers: workers, MaxBatch: batch})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,14 +1,21 @@
 // Command plinius-serve trains a CNN in the enclave and serves
 // classification requests from it: dynamic micro-batching in front of
-// a pool of enclave worker replicas, each restored from the encrypted
-// PM mirror.
+// a pool of enclave worker replicas, each restored from an immutable
+// published model snapshot in PM, with deadline-aware admission
+// control (a full queue rejects instead of blocking).
 //
 // With -addr it exposes a minimal HTTP endpoint:
 //
 //	POST /classify {"image":[784 floats in [0,1]]}
-//	  -> {"class":7,"latency_us":412,"batch_size":5,"worker":2}
-//	GET  /stats -> serving counters
+//	  -> {"class":7,"latency_us":412,"batch_size":5,"worker":2,"model_version":1}
+//	POST /refresh  -> roll all replicas to the latest published model
+//	POST /rotate   -> rotate the data key end to end, no serving gap
+//	GET  /stats    -> serving counters
 //	GET  /healthz
+//
+// SIGINT/SIGTERM shuts down gracefully: the HTTP listener stops, the
+// request queue drains (every accepted request is answered), and the
+// replica enclaves are closed.
 //
 // Without -addr it runs an in-process load generator and prints the
 // throughput/latency baseline:
@@ -24,7 +31,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"plinius"
@@ -41,21 +50,31 @@ func main() {
 		workers    = flag.Int("workers", 4, "enclave inference replicas")
 		maxBatch   = flag.Int("max-batch", 32, "micro-batch size cap")
 		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
+		queueDepth = flag.Int("queue-depth", 1024, "request queue bound; beyond it requests are rejected (ErrOverloaded)")
 		addr       = flag.String("addr", "", "HTTP listen address (e.g. :8080); empty runs the load generator")
 		requests   = flag.Int("requests", 10000, "load-generator request count")
 		clients    = flag.Int("clients", 64, "load-generator concurrent clients")
 	)
 	flag.Parse()
 
-	if err := run(*iters, *layers, *filters, *batch, *dataset, *seed,
-		*workers, *maxBatch, *maxLatency, *addr, *requests, *clients); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *seed,
+		*workers, *maxBatch, *maxLatency, *queueDepth, *addr, *requests, *clients)
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Interrupted before or during serving: the shutdown was
+		// graceful (training stopped mirror-consistently, accepted
+		// requests drained), so exit cleanly like the serving path.
+		fmt.Println("interrupted: shut down gracefully")
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "plinius-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(iters, layers, filters, batch, dataset int, seed int64,
-	workers, maxBatch int, maxLatency time.Duration, addr string, requests, clients int) error {
+func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed int64,
+	workers, maxBatch int, maxLatency time.Duration, queueDepth int, addr string, requests, clients int) error {
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
 		Seed:        seed,
@@ -68,31 +87,55 @@ func run(iters, layers, filters, batch, dataset int, seed int64,
 		return err
 	}
 	fmt.Printf("training %d iterations in the enclave...\n", iters)
-	if err := f.Train(iters, nil); err != nil {
+	if err := f.Train(ctx, plinius.StopAt(iters)); err != nil {
 		return err
 	}
 
-	srv, err := plinius.Serve(f, plinius.ServerOptions{
+	srv, err := plinius.Serve(ctx, f, plinius.ServerOptions{
 		Workers:         workers,
 		MaxBatch:        maxBatch,
 		MaxQueueLatency: maxLatency,
+		QueueDepth:      queueDepth,
 		Seed:            seed,
 	})
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-	fmt.Printf("serving iteration-%d model on %d enclave replicas (max batch %d, max queue latency %v)\n",
-		srv.Iteration(), srv.Workers(), maxBatch, maxLatency)
+	fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (max batch %d, max queue latency %v, queue depth %d)\n",
+		srv.Version(), srv.Iteration(), srv.Workers(), maxBatch, maxLatency, queueDepth)
 
 	if addr != "" {
-		return serveHTTP(srv, addr)
+		err = serveHTTP(ctx, srv, addr)
+	} else {
+		err = loadgen(ctx, srv, ds, requests, clients)
 	}
-	return loadgen(srv, ds, requests, clients)
+	// Graceful teardown either way: drain everything accepted, then
+	// close the replica enclaves.
+	if cerr := srv.Close(); cerr != nil && !errors.Is(cerr, plinius.ErrServerClosed) && err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// serveHTTP exposes the server over a minimal JSON HTTP API.
-func serveHTTP(srv *plinius.Server, addr string) error {
+// classifyStatus maps a serving error to an HTTP status.
+func classifyStatus(err error) int {
+	switch {
+	case errors.Is(err, plinius.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, plinius.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, plinius.ErrBadImage):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// serveHTTP exposes the server over a minimal JSON HTTP API until ctx
+// is cancelled, then shuts the listener down gracefully.
+func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -104,45 +147,74 @@ func serveHTTP(srv *plinius.Server, addr string) error {
 		}
 		pred, err := srv.Classify(r.Context(), req.Image)
 		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, plinius.ErrServerClosed):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, plinius.ErrBadImage):
-				status = http.StatusBadRequest
-			}
-			http.Error(w, err.Error(), status)
+			http.Error(w, err.Error(), classifyStatus(err))
 			return
 		}
 		json.NewEncoder(w).Encode(map[string]any{
-			"class":      pred.Class,
-			"latency_us": pred.Latency.Microseconds(),
-			"batch_size": pred.BatchSize,
-			"worker":     pred.Worker,
+			"class":         pred.Class,
+			"latency_us":    pred.Latency.Microseconds(),
+			"batch_size":    pred.BatchSize,
+			"worker":        pred.Worker,
+			"model_version": pred.ModelVersion,
 		})
+	})
+	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
+		iter, err := srv.Refresh(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"iteration": iter, "model_version": srv.Version()})
+	})
+	mux.HandleFunc("POST /rotate", func(w http.ResponseWriter, r *http.Request) {
+		ver, err := srv.RotateKey(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"model_version": ver})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := srv.Stats()
 		json.NewEncoder(w).Encode(map[string]any{
 			"requests":       st.Requests,
+			"rejected":       st.Rejected,
+			"expired":        st.Expired,
 			"batches":        st.Batches,
 			"avg_batch":      st.AvgBatch,
 			"avg_latency_us": st.AvgLatency.Microseconds(),
 			"max_latency_us": st.MaxLatency.Microseconds(),
 			"req_per_sec":    st.Throughput,
 			"uptime_sec":     st.Uptime.Seconds(),
+			"model_version":  srv.Version(),
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	fmt.Printf("listening on %s\n", addr)
-	return http.ListenAndServe(addr, mux)
+
+	hs := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("listening on %s (SIGINT/SIGTERM drains and exits)\n", addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down: draining in-flight requests...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	return nil
 }
 
 // loadgen drives the in-process server with concurrent clients and
-// prints the serving baseline.
-func loadgen(srv *plinius.Server, ds *plinius.Dataset, requests, clients int) error {
+// prints the serving baseline. Rejected requests (admission control)
+// are counted, not treated as failures.
+func loadgen(ctx context.Context, srv *plinius.Server, ds *plinius.Dataset, requests, clients int) error {
 	fmt.Printf("load generator: %d requests from %d concurrent clients\n", requests, clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -152,7 +224,16 @@ func loadgen(srv *plinius.Server, ds *plinius.Dataset, requests, clients int) er
 		go func(c int) {
 			defer wg.Done()
 			for i := c; i < requests; i += clients {
-				if _, err := srv.Classify(context.Background(), ds.Image(i%ds.N)); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				_, err := srv.Classify(ctx, ds.Image(i%ds.N))
+				switch {
+				case err == nil, errors.Is(err, plinius.ErrOverloaded):
+					// Served or shed; both are expected under load.
+				case errors.Is(err, context.Canceled):
+					return
+				default:
 					errCh <- err
 					return
 				}
@@ -166,8 +247,9 @@ func loadgen(srv *plinius.Server, ds *plinius.Dataset, requests, clients int) er
 	}
 	elapsed := time.Since(start)
 	st := srv.Stats()
-	fmt.Printf("served %d requests in %v\n", st.Requests, elapsed.Round(time.Millisecond))
-	fmt.Printf("  throughput : %.0f req/s\n", float64(requests)/elapsed.Seconds())
+	fmt.Printf("served %d requests in %v (%d rejected by admission control)\n",
+		st.Requests, elapsed.Round(time.Millisecond), st.Rejected)
+	fmt.Printf("  throughput : %.0f req/s\n", float64(st.Requests)/elapsed.Seconds())
 	fmt.Printf("  micro-batch: %.1f avg over %d batches\n", st.AvgBatch, st.Batches)
 	fmt.Printf("  latency    : avg %v, max %v\n",
 		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))

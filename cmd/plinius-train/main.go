@@ -3,15 +3,23 @@
 // to emulated persistent memory, with optional crash injection to
 // demonstrate recovery.
 //
+// Training is cancellable: SIGINT/SIGTERM stops the run at a
+// mirror-consistent boundary, so an interrupted run is always
+// resumable from its last mirrored iteration.
+//
 // Usage:
 //
 //	plinius-train -iters 100 -layers 5 -batch 64 -crash-every 40
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"plinius"
 )
@@ -30,13 +38,19 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*iters, *layers, *filters, *batch, *dataset, *crashEvery, *mirrorFreq, *seed, *server); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *crashEvery, *mirrorFreq, *seed, *server)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Println("interrupted: training stopped at a mirror-consistent boundary; PM holds the last mirrored iteration")
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "plinius-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(iters, layers, filters, batch, dataset, crashEvery, mirrorFreq int, seed int64, server string) error {
+func run(ctx context.Context, iters, layers, filters, batch, dataset, crashEvery, mirrorFreq int, seed int64, server string) error {
 	profile := plinius.SGXEmlPM()
 	if server == "emlSGX-PM" {
 		profile = plinius.EmlSGXPM()
@@ -59,15 +73,15 @@ func run(iters, layers, filters, batch, dataset, crashEvery, mirrorFreq int, see
 	}
 	fmt.Printf("dataset: %d samples loaded to encrypted byte-addressable PM\n", ds.N)
 
+	progress := plinius.WithProgress(func(iter int, loss float32) {
+		if iter%10 == 0 || iter == iters {
+			fmt.Printf("iter %4d  loss %.4f\n", iter, loss)
+		}
+	})
 	sinceCrash := 0
 	for f.Iteration() < iters {
 		target := f.Iteration() + 1
-		err := f.Train(target, func(iter int, loss float32) {
-			if iter%10 == 0 || iter == iters {
-				fmt.Printf("iter %4d  loss %.4f\n", iter, loss)
-			}
-		})
-		if err != nil {
+		if err := f.Train(ctx, plinius.StopAt(target), progress); err != nil {
 			return err
 		}
 		sinceCrash++

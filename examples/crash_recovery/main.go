@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +25,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(3, 8, 32),
 		Seed:        7,
@@ -44,7 +46,7 @@ func run() error {
 	}
 
 	for _, crashAt := range crashes {
-		if err := f.Train(crashAt, report); err != nil {
+		if err := f.Train(ctx, plinius.StopAt(crashAt), plinius.WithProgress(report)); err != nil {
 			return err
 		}
 		fmt.Printf(">>> power failure at iteration %d: enclave and DRAM lost\n", f.Iteration())
@@ -55,7 +57,7 @@ func run() error {
 		fmt.Printf(">>> recovered from PM mirror: resuming at iteration %d "+
 			"(data still in PM, %d rows)\n", f.Iteration(), f.Data.N())
 	}
-	if err := f.Train(totalIters, report); err != nil {
+	if err := f.Train(ctx, plinius.StopAt(totalIters), plinius.WithProgress(report)); err != nil {
 		return err
 	}
 	fmt.Printf("training finished at iteration %d after %d crashes — "+

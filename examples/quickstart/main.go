@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,12 +43,16 @@ func run() error {
 	}
 	fmt.Printf("training data: %d samples in encrypted byte-addressable PM\n", ds.N)
 
-	// Train for 30 iterations; the mirror in PM tracks every iteration.
-	err = f.Train(30, func(iter int, loss float32) {
-		if iter%5 == 0 {
-			fmt.Printf("iter %3d  loss %.4f\n", iter, loss)
-		}
-	})
+	// Train until iteration 30; the mirror in PM tracks every
+	// iteration. The context makes the run cancellable at
+	// mirror-consistent boundaries (Ctrl-C style interruption always
+	// leaves a recoverable model in PM).
+	err = f.Train(context.Background(), plinius.StopAt(30),
+		plinius.WithProgress(func(iter int, loss float32) {
+			if iter%5 == 0 {
+				fmt.Printf("iter %3d  loss %.4f\n", iter, loss)
+			}
+		}))
 	if err != nil {
 		return err
 	}

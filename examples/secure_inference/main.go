@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,11 +42,13 @@ func run() error {
 	}
 
 	fmt.Println("training in the enclave...")
-	if err := f.Train(150, func(iter int, loss float32) {
-		if iter%30 == 0 {
-			fmt.Printf("iter %3d  loss %.4f\n", iter, loss)
-		}
-	}); err != nil {
+	err = f.Train(context.Background(), plinius.StopAt(150),
+		plinius.WithProgress(func(iter int, loss float32) {
+			if iter%30 == 0 {
+				fmt.Printf("iter %3d  loss %.4f\n", iter, loss)
+			}
+		}))
+	if err != nil {
 		return err
 	}
 

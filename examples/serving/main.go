@@ -1,12 +1,19 @@
 // Secure inference serving: the paper's §VI classification experiment
-// as a request-level service.
+// as a request-level service, on the v2 context-first API.
 //
-// A CNN is trained inside the enclave, its parameters are published to
-// persistent memory in sealed form, and a pool of enclave worker
-// replicas restores them through the attestation + mirror-in path.
+// A CNN is trained inside the enclave and published to persistent
+// memory as an immutable, versioned snapshot; a pool of enclave worker
+// replicas restores it through the attestation + mirror-in path.
 // Concurrent client requests are coalesced into dynamic micro-batches
 // — one network forward per batch — so throughput scales while every
 // image and every parameter stays inside enclave memory.
+//
+// The demo then exercises the v2 lifecycle while requests keep
+// flowing: training continues concurrently with serving, Refresh rolls
+// the pool to the newly published model version with zero downtime,
+// and RotateKey re-provisions the data key end to end — new key to
+// every replica over fresh attestation channels, PM state re-sealed —
+// without dropping a single request.
 //
 //	go run ./examples/serving
 package main
@@ -28,6 +35,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(2, 8, 64),
 		Seed:        4,
@@ -45,14 +53,14 @@ func run() error {
 		return err
 	}
 	fmt.Println("training in the enclave...")
-	if err := f.Train(60, nil); err != nil {
+	if err := f.Train(ctx, plinius.StopAt(60)); err != nil {
 		return err
 	}
 
-	// Serve publishes the trained model to PM and builds the replicas:
-	// each one is attested, receives the data key over the secure
-	// channel, and restores the sealed parameters from the mirror.
-	srv, err := plinius.Serve(f, plinius.ServerOptions{
+	// Serve publishes the trained model as version 1 and builds the
+	// replicas: each one is attested, receives the data key over the
+	// secure channel, and restores the pinned snapshot.
+	srv, err := plinius.Serve(ctx, f, plinius.ServerOptions{
 		Workers:         4,
 		MaxBatch:        16,
 		MaxQueueLatency: time.Millisecond,
@@ -61,10 +69,12 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("serving the iteration-%d model on %d enclave replicas\n",
-		srv.Iteration(), srv.Workers())
+	fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas\n",
+		srv.Version(), srv.Iteration(), srv.Workers())
 
-	// 32 concurrent clients classify the held-out set.
+	// 32 concurrent clients classify the held-out set — while, in the
+	// middle of the run, training continues, the pool refreshes to the
+	// new model, and the data key rotates. No request is dropped.
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -75,7 +85,7 @@ func run() error {
 		go func(c int) {
 			defer wg.Done()
 			for i := c; i < test.N; i += 32 {
-				pred, err := srv.Classify(context.Background(), test.Image(i))
+				pred, err := srv.Classify(ctx, test.Image(i))
 				if err != nil {
 					log.Println("classify:", err)
 					return
@@ -88,6 +98,25 @@ func run() error {
 			}
 		}(c)
 	}
+
+	// Lifecycle, concurrent with the clients above: train on, publish
+	// the improved model as a new immutable version, roll the pool.
+	if err := f.Train(ctx, plinius.StopAt(90)); err != nil {
+		return err
+	}
+	if _, err := f.Publish(); err != nil {
+		return err
+	}
+	iter, err := srv.Refresh(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("zero-downtime refresh: now serving version %d (iteration %d)\n", srv.Version(), iter)
+	ver, err := srv.RotateKey(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("key rotated: replicas re-provisioned, PM re-sealed, serving version %d\n", ver)
 	wg.Wait()
 
 	st := srv.Stats()
@@ -95,7 +124,8 @@ func run() error {
 		100*float64(correct)/float64(test.N), test.N)
 	fmt.Printf("throughput: %.0f req/s in %.1f-image micro-batches (%d batches)\n",
 		st.Throughput, st.AvgBatch, st.Batches)
-	fmt.Printf("latency   : avg %v, max %v\n",
-		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	fmt.Printf("latency   : avg %v, max %v (rejected %d, expired %d)\n",
+		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond),
+		st.Rejected, st.Expired)
 	return nil
 }

@@ -85,6 +85,10 @@ func (f *Framework) delta(s0 costSnap) costDelta {
 // MirrorSave mirrors the model out to PM and returns the encrypt/write
 // breakdown.
 func (f *Framework) MirrorSave() (StepTiming, error) {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
 	if f.crashed {
 		return StepTiming{}, ErrCrashedDown
 	}
@@ -110,6 +114,10 @@ func (f *Framework) MirrorSave() (StepTiming, error) {
 // MirrorRestore mirrors the model in from PM and returns the
 // read/decrypt breakdown.
 func (f *Framework) MirrorRestore() (StepTiming, error) {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
 	if f.crashed {
 		return StepTiming{}, ErrCrashedDown
 	}
@@ -138,6 +146,8 @@ const ssdCkptMagic = 0x504C4E434B5054 // "PLNCKPT"
 // SSDSave checkpoints the model to the SSD device and returns the
 // encrypt/write breakdown.
 func (f *Framework) SSDSave(name string) (StepTiming, error) {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
 	if f.crashed {
 		return StepTiming{}, ErrCrashedDown
 	}
@@ -203,6 +213,8 @@ func (f *Framework) SSDSave(name string) (StepTiming, error) {
 // SSDRestore loads an SSD checkpoint into the model and returns the
 // read/decrypt breakdown.
 func (f *Framework) SSDRestore(name string) (StepTiming, error) {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
 	if f.crashed {
 		return StepTiming{}, ErrCrashedDown
 	}

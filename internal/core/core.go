@@ -18,6 +18,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"strings"
+	"sync"
 
 	"plinius/internal/darknet"
 	"plinius/internal/enclave"
@@ -101,6 +102,20 @@ var (
 )
 
 // Framework is a live Plinius instance.
+//
+// Concurrency: the v2 API allows one training goroutine (Train) to run
+// while other goroutines publish snapshots, rotate keys, or restore
+// replica enclaves from PM. Two internal locks arbitrate:
+//
+//   - modelMu owns the enclave model parameters, the engine/key
+//     identity, and the crash flag. Train holds it per iteration (not
+//     across the whole run), so publication and rotation interleave at
+//     iteration boundaries.
+//   - pmMu owns the PM device and the Romulus heap. Every PM
+//     transaction or load anywhere in the process — training mirror,
+//     data matrix, publication table, replica restores — runs under it.
+//
+// Lock order is always modelMu before pmMu.
 type Framework struct {
 	cfg Config
 
@@ -113,10 +128,14 @@ type Framework struct {
 	Mirror  *mirror.Model
 	Data    *mirror.DataMatrix
 
+	modelMu sync.Mutex
+	pmMu    sync.Mutex
+
 	key      []byte
 	rng      *mrand.Rand
 	reserved int
 	crashed  bool
+	pub      *mirror.Publication
 }
 
 // New builds a Framework: it creates the enclave, provisions the data
@@ -291,6 +310,8 @@ func (f *Framework) LoadDataset(ds *mnist.Dataset) error {
 	if f.cfg.PlaintextData {
 		opts = append(opts, mirror.WithPlaintextRows())
 	}
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
 	return f.Enclave.Ecall(func() error {
 		dm, err := mirror.LoadData(f.Rom, f.Engine, ds, opts...)
 		if err != nil {
@@ -301,50 +322,13 @@ func (f *Framework) LoadDataset(ds *mnist.Dataset) error {
 	})
 }
 
-// Train runs Algorithm 2 until the model has completed maxIter
-// iterations (counting iterations restored from the mirror). The
-// callback, if non-nil, observes every iteration's loss.
-func (f *Framework) Train(maxIter int, cb func(iter int, loss float32)) error {
-	if f.crashed {
-		return ErrCrashedDown
-	}
-	if f.Data == nil {
-		return ErrNoDataset
-	}
-	return f.Enclave.Ecall(func() error {
-		if err := f.attachMirror(); err != nil {
-			return err
-		}
-		batch := f.Net.Config.Batch
-		for f.Net.Iteration < maxIter {
-			x, y, err := f.Data.Batch(f.rng, batch)
-			if err != nil {
-				return fmt.Errorf("core: batch: %w", err)
-			}
-			f.Enclave.Touch(4 * (len(x) + len(y)))
-			loss, err := f.Net.TrainBatch(x, y, batch)
-			if err != nil {
-				return fmt.Errorf("core: iteration %d: %w", f.Net.Iteration, err)
-			}
-			if f.mirroring() && f.Net.Iteration%f.cfg.MirrorFreq == 0 {
-				if err := f.Mirror.MirrorOut(f.Net); err != nil {
-					return fmt.Errorf("core: mirror out: %w", err)
-				}
-			}
-			if cb != nil {
-				cb(f.Net.Iteration, loss)
-			}
-		}
-		return nil
-	})
-}
-
 func (f *Framework) mirroring() bool { return f.cfg.MirrorFreq > 0 }
 
 // attachMirror implements Algorithm 2 lines 7-12: restore from an
-// existing persistent model or allocate a fresh one.
+// existing persistent model or allocate a fresh one. Callers gate on
+// whether mirroring applies to the current run and hold pmMu.
 func (f *Framework) attachMirror() error {
-	if !f.mirroring() || f.Mirror != nil {
+	if f.Mirror != nil {
 		return nil
 	}
 	if mirror.Exists(f.Rom) {
@@ -368,13 +352,20 @@ func (f *Framework) attachMirror() error {
 
 // Crash simulates a power failure or spot-instance reclamation: the
 // enclave and all volatile state vanish, and PM loses every unflushed
-// cache line.
+// cache line. Crash must not race a running Train; cancel the training
+// context first (serving replicas keep answering from their in-enclave
+// weights across the framework's down window).
 func (f *Framework) Crash() {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
 	f.PM.Crash()
 	f.Rom = nil
 	f.Mirror = nil
 	f.Data = nil
 	f.Net = nil
+	f.pub = nil
 	f.crashed = true
 	if f.reserved > 0 {
 		_ = f.Enclave.Free(f.reserved)
@@ -388,6 +379,10 @@ func (f *Framework) Crash() {
 // parameters themselves are restored lazily by Train via mirror-in —
 // or immediately if RestoreNow is true.
 func (f *Framework) Recover(restoreNow bool) error {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
 	if !f.crashed {
 		return ErrNotCrashed
 	}
@@ -417,7 +412,10 @@ func (f *Framework) Recover(restoreNow bool) error {
 		}
 		f.Data = dm
 	}
-	if restoreNow && f.mirroring() {
+	// Restore whenever PM actually holds a mirror — it may exist even
+	// with config-level mirroring off (a run used the MirrorEvery
+	// override).
+	if restoreNow && mirror.Exists(f.Rom) {
 		return f.Enclave.Ecall(f.attachMirror)
 	}
 	return nil
@@ -514,6 +512,8 @@ func classifyBatch(encl *enclave.Enclave, net *darknet.Network, images []float32
 
 // Iteration returns the model's completed iteration count.
 func (f *Framework) Iteration() int {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
 	if f.Net == nil {
 		return 0
 	}
@@ -521,7 +521,15 @@ func (f *Framework) Iteration() int {
 }
 
 // Key returns a copy of the provisioned data key (test hook).
-func (f *Framework) Key() []byte { return append([]byte(nil), f.key...) }
+func (f *Framework) Key() []byte {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	return append([]byte(nil), f.key...)
+}
 
 // Crashed reports whether the framework is down awaiting Recover.
-func (f *Framework) Crashed() bool { return f.crashed }
+func (f *Framework) Crashed() bool {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	return f.crashed
+}

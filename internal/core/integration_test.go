@@ -27,7 +27,7 @@ func TestFullWorkflowBothServers(t *testing.T) {
 			if err := f.LoadDataset(mnist.Synthetic(100, 50)); err != nil {
 				t.Fatalf("LoadDataset: %v", err)
 			}
-			if err := f.Train(8, nil); err != nil {
+			if err := f.TrainIters(8, nil); err != nil {
 				t.Fatalf("Train: %v", err)
 			}
 			f.Crash()
@@ -53,7 +53,7 @@ func TestSSDCheckpointSurvivesPMCrash(t *testing.T) {
 	if err := f.LoadDataset(mnist.Synthetic(100, 51)); err != nil {
 		t.Fatalf("LoadDataset: %v", err)
 	}
-	if err := f.Train(6, nil); err != nil {
+	if err := f.TrainIters(6, nil); err != nil {
 		t.Fatalf("Train: %v", err)
 	}
 	if _, err := f.SSDSave("ckpt"); err != nil {
@@ -131,7 +131,7 @@ func TestRepeatedCrashRecoverCycles(t *testing.T) {
 	}
 	for cycle := 0; cycle < 5; cycle++ {
 		target := (cycle + 1) * 3
-		if err := f.Train(target, nil); err != nil {
+		if err := f.TrainIters(target, nil); err != nil {
 			t.Fatalf("cycle %d Train: %v", cycle, err)
 		}
 		f.Crash()

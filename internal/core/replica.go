@@ -16,10 +16,16 @@ import (
 // Replica is a read-only enclave inference worker (the serving-side
 // unit of internal/serve). Each replica runs in its own enclave with
 // its own encryption engine and its own copy of the model, restored
-// from the encrypted persistent mirror exactly like crash recovery
-// (Algorithm 3, mirror_in): the parameters travel from PM to the
-// replica enclave only in sealed form. Replicas never write to PM, so
-// any number of them can share one framework's PM device.
+// from an immutable published snapshot in PM exactly like crash
+// recovery (Algorithm 3, mirror_in): the parameters travel from PM to
+// the replica enclave only in sealed form. Replicas never write to PM,
+// so any number of them can share one framework's PM device.
+//
+// A replica always restores a pinned version: the snapshot it reads is
+// never overwritten mid-restore, however much training, publishing or
+// key rotation runs concurrently. Between a crash of the owning
+// framework and its Recover, replicas keep serving from their
+// in-enclave weights; only Refresh/Rotate need the framework live.
 //
 // A Replica's methods are single-goroutine, like the training loop
 // they are built from (the engine's *Scratch buffers and the network's
@@ -27,39 +33,32 @@ import (
 // replica and as many replicas as desired.
 type Replica struct {
 	Enclave *enclave.Enclave
+	f       *Framework
 	eng     *engine.Engine
 	net     *darknet.Network
-	mir     *mirror.Model
 
+	version  uint64
 	reserved int
 	closed   bool
 }
 
 // Replica errors.
 var (
-	ErrNoServableModel = errors.New("core: no persistent model in PM to serve; train or MirrorSave first")
+	ErrNoServableModel = errors.New("core: no servable model; load a dataset and train, or recover a framework whose PM holds one")
 	ErrReplicaClosed   = errors.New("core: replica is closed")
 )
 
-// NewReplica spins up one inference replica: a fresh enclave is
-// created and attested, the owner provisions the same data key over
-// the attestation channel (Fig. 5 steps 2-3), and the model is
-// restored from the persistent mirror. The framework must have a
-// mirrored model in PM (Train with mirroring on, or MirrorSave).
-// seed differentiates the replica's enclave RNG.
-func (f *Framework) NewReplica(seed int64) (*Replica, error) {
-	if f.crashed {
-		return nil, ErrCrashedDown
-	}
-	if !f.mirroring() || !mirror.Exists(f.Rom) {
-		return nil, ErrNoServableModel
-	}
-	r := &Replica{}
-	r.Enclave = enclave.New(f.cfg.Server.Enclave, enclave.WithSeed(seed))
+// provisionReplicaKey runs the Fig. 5 steps 2-3 flow against a replica
+// enclave: attest it, have the owner verify the quote, wrap the
+// framework's current data key for the attestation channel, and unwrap
+// it inside the replica enclave. It returns the provisioned key as held
+// by the replica.
+func (f *Framework) provisionReplicaKey(encl *enclave.Enclave) ([]byte, error) {
+	f.modelMu.Lock()
+	dataKey := append([]byte(nil), f.key...)
+	f.modelMu.Unlock()
 
-	// Attest the replica enclave and provision the data key through the
-	// wrapped-key channel, as for the training enclave.
-	sess, quote, err := r.Enclave.BeginAttestation()
+	sess, quote, err := encl.BeginAttestation()
 	if err != nil {
 		return nil, fmt.Errorf("core: replica attestation: %w", err)
 	}
@@ -71,12 +70,12 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: replica quote: %w", err)
 	}
-	wrapped, err := engine.WrapKey(ownerChannel, f.key, rand.Reader)
+	wrapped, err := engine.WrapKey(ownerChannel, dataKey, rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("core: replica wrap key: %w", err)
 	}
 	var key []byte
-	err = r.Enclave.Ecall(func() error {
+	err = encl.Ecall(func() error {
 		ch, err := sess.CompleteAttestation(owner.PublicKey())
 		if err != nil {
 			return err
@@ -87,13 +86,42 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: replica key provisioning: %w", err)
 	}
+	return key, nil
+}
+
+// NewReplica spins up one inference replica: a fresh enclave is
+// created and attested, the owner provisions the current data key over
+// the attestation channel (Fig. 5 steps 2-3), and the model is
+// restored from the latest published snapshot (publishing the current
+// model first if nothing has been published yet). seed differentiates
+// the replica's enclave RNG.
+func (f *Framework) NewReplica(seed int64) (*Replica, error) {
+	if f.Crashed() {
+		return nil, ErrCrashedDown
+	}
+	latest, err := f.LatestPublished()
+	if err != nil {
+		return nil, err
+	}
+	if latest == 0 {
+		if _, err := f.Publish(); err != nil {
+			return nil, err
+		}
+	}
+	r := &Replica{f: f}
+	r.Enclave = enclave.New(f.cfg.Server.Enclave, enclave.WithSeed(seed))
+
+	key, err := f.provisionReplicaKey(r.Enclave)
+	if err != nil {
+		return nil, err
+	}
 	r.eng, err = engine.New(key, engine.WithEnclave(r.Enclave))
 	if err != nil {
 		return nil, fmt.Errorf("core: replica engine: %w", err)
 	}
 
 	// Build the replica's enclave model (random weights) and overwrite
-	// it from the persistent mirror.
+	// it from the pinned published snapshot.
 	net, err := darknet.ParseConfig(strings.NewReader(f.cfg.ModelConfig),
 		mrand.New(mrand.NewSource(seed)))
 	if err != nil {
@@ -102,20 +130,13 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 	err = r.Enclave.Ecall(func() error {
 		r.net = net
 		r.reserved = net.ParamBytes() + f.cfg.TrainOverheadBytes
-		if err := r.Enclave.Reserve(r.reserved); err != nil {
-			return err
-		}
-		m, err := mirror.OpenModel(f.Rom, r.eng, mirror.WithEnclave(r.Enclave))
-		if err != nil {
-			return err
-		}
-		if _, err := m.MirrorIn(r.net); err != nil {
-			return err
-		}
-		r.mir = m
-		return nil
+		return r.Enclave.Reserve(r.reserved)
 	})
 	if err != nil {
+		return nil, fmt.Errorf("core: replica reserve: %w", err)
+	}
+	if _, err := r.Refresh(); err != nil {
+		_ = r.Close()
 		return nil, fmt.Errorf("core: replica restore: %w", err)
 	}
 	return r, nil
@@ -131,28 +152,65 @@ func (r *Replica) ClassifyBatch(images []float32) ([]int, error) {
 	return classifyBatch(r.Enclave, r.net, images)
 }
 
-// Refresh re-reads the persistent mirror, picking up any model update
-// mirrored since the replica was built (e.g. continued training), and
-// returns the restored iteration. Must not race with a concurrent
-// MirrorOut.
+// Refresh pins the latest published model version, restores it into
+// the replica enclave, and returns the restored iteration. It never
+// races a concurrent publish or training mirror-out: the pinned
+// snapshot is immutable while held.
 func (r *Replica) Refresh() (int, error) {
 	if r.closed {
 		return 0, ErrReplicaClosed
 	}
+	pin, err := r.f.PinPublished(0)
+	if err != nil {
+		return 0, fmt.Errorf("core: replica refresh: %w", err)
+	}
+	defer pin.Release()
 	var iter int
-	err := r.Enclave.Ecall(func() error {
-		it, err := r.mir.MirrorIn(r.net)
+	err = r.Enclave.Ecall(func() error {
+		r.f.pmMu.Lock()
+		defer r.f.pmMu.Unlock()
+		m, err := pin.Open(r.eng, mirror.WithEnclave(r.Enclave))
+		if err != nil {
+			return err
+		}
+		it, err := m.MirrorIn(r.net)
 		iter = it
 		return err
 	})
 	if err != nil {
 		return 0, fmt.Errorf("core: replica refresh: %w", err)
 	}
+	r.version = pin.Version()
 	return iter, nil
+}
+
+// Rotate re-provisions the framework's current data key into the
+// replica enclave over a fresh attestation channel, rebuilds the
+// replica's engine around it, and refreshes to the latest published
+// snapshot (which the rotation published under the new key). The
+// replica keeps serving its in-enclave weights up to the moment Rotate
+// returns.
+func (r *Replica) Rotate() (int, error) {
+	if r.closed {
+		return 0, ErrReplicaClosed
+	}
+	key, err := r.f.provisionReplicaKey(r.Enclave)
+	if err != nil {
+		return 0, fmt.Errorf("core: replica rotate: %w", err)
+	}
+	eng, err := engine.New(key, engine.WithEnclave(r.Enclave))
+	if err != nil {
+		return 0, fmt.Errorf("core: replica rotate engine: %w", err)
+	}
+	r.eng = eng
+	return r.Refresh()
 }
 
 // Iteration returns the training iteration of the restored model.
 func (r *Replica) Iteration() int { return r.net.Iteration }
+
+// Version returns the published model version the replica serves.
+func (r *Replica) Version() uint64 { return r.version }
 
 // InputSize returns the flattened per-image input size.
 func (r *Replica) InputSize() int { return r.net.InputSize() }

@@ -1,6 +1,10 @@
 package core
 
-import "plinius/internal/spot"
+import (
+	"context"
+
+	"plinius/internal/spot"
+)
 
 // SpotTrainer adapts a Framework to the spot-instance simulator's
 // Trainer protocol (Fig. 10): a Kill is a power failure (PM keeps only
@@ -16,7 +20,8 @@ var _ spot.Trainer = (*SpotTrainer)(nil)
 func (s *SpotTrainer) Step() (float32, error) {
 	var loss float32
 	target := s.F.Iteration() + 1
-	err := s.F.Train(target, func(_ int, l float32) { loss = l })
+	err := s.F.Train(context.Background(),
+		StopAt(target), WithProgress(func(_ int, l float32) { loss = l }))
 	return loss, err
 }
 

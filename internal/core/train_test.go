@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"plinius/internal/mnist"
+)
+
+// loadedFramework returns a framework with a small dataset loaded.
+func loadedFramework(t *testing.T, cfg Config) *Framework {
+	t.Helper()
+	f := newFramework(t, cfg)
+	if err := f.LoadDataset(mnist.Synthetic(64, 3)); err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	return f
+}
+
+// TestTrainCancelIsMirrorConsistent cancels a run mid-training and
+// checks the contract: the error wraps context.Canceled, and after a
+// crash the framework recovers to exactly the iteration the
+// cancellation observed (the final flush made PM current).
+func TestTrainCancelIsMirrorConsistent(t *testing.T) {
+	f := loadedFramework(t, smallConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 0
+	err := f.Train(ctx, StopAt(1000), WithProgress(func(iter int, _ float32) {
+		if iter == 5 {
+			stopAt = iter
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Train = %v, want context.Canceled", err)
+	}
+	if stopAt == 0 || f.Iteration() < stopAt {
+		t.Fatalf("training stopped at %d before the cancel point %d", f.Iteration(), stopAt)
+	}
+	cancelled := f.Iteration()
+
+	f.Crash()
+	if err := f.Recover(true); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := f.Iteration(); got != cancelled {
+		t.Fatalf("recovered at iteration %d, want the cancelled iteration %d", got, cancelled)
+	}
+	// The run resumes cleanly from there.
+	if err := f.Train(context.Background(), StopAt(cancelled+3)); err != nil {
+		t.Fatalf("resume Train: %v", err)
+	}
+	if got := f.Iteration(); got != cancelled+3 {
+		t.Fatalf("resumed to %d, want %d", f.Iteration(), cancelled+3)
+	}
+}
+
+// TestTrainCancelWithSparseMirrorFreq checks the final-flush path: with
+// MirrorFreq 10, a cancellation between mirror points still leaves PM
+// holding the cancelled iteration.
+func TestTrainCancelWithSparseMirrorFreq(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MirrorFreq = 10
+	f := loadedFramework(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	err := f.Train(ctx, StopAt(100), WithProgress(func(iter int, _ float32) {
+		if iter == 13 { // not a multiple of 10: PM mirror is at 10
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Train = %v, want context.Canceled", err)
+	}
+	cancelled := f.Iteration()
+	if cancelled%cfg.MirrorFreq == 0 {
+		t.Fatalf("test needs a cancel off the mirror grid, got iteration %d", cancelled)
+	}
+	f.Crash()
+	if err := f.Recover(true); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := f.Iteration(); got != cancelled {
+		t.Fatalf("recovered at %d, want the flushed cancel iteration %d", got, cancelled)
+	}
+}
+
+// TestTrainPreCancelledContext checks an already-done context stops
+// before any iteration runs.
+func TestTrainPreCancelledContext(t *testing.T) {
+	f := loadedFramework(t, smallConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := f.Train(ctx, StopAt(10))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Train = %v, want context.Canceled", err)
+	}
+	if got := f.Iteration(); got != 0 {
+		t.Fatalf("pre-cancelled Train ran %d iterations", got)
+	}
+}
+
+// TestTrainMirrorEveryOverride checks the per-run frequency override:
+// a mirroring-disabled framework can mirror for one run, and a
+// mirroring-enabled one can skip it.
+func TestTrainMirrorEveryOverride(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MirrorFreq = -1 // disabled by config
+	f := loadedFramework(t, cfg)
+	if err := f.Train(context.Background(), StopAt(4), MirrorEvery(2)); err != nil {
+		t.Fatalf("Train with MirrorEvery: %v", err)
+	}
+	if f.Mirror == nil {
+		t.Fatal("MirrorEvery(2) did not attach the mirror")
+	}
+	iter, err := f.Mirror.Iteration()
+	if err != nil {
+		t.Fatalf("mirror iteration: %v", err)
+	}
+	if iter != 4 {
+		t.Fatalf("mirror holds iteration %d, want 4", iter)
+	}
+
+	// And the reverse: default-on mirroring disabled for one run.
+	f2 := loadedFramework(t, smallConfig())
+	if err := f2.Train(context.Background(), StopAt(3), MirrorEvery(-1)); err != nil {
+		t.Fatalf("Train with MirrorEvery(-1): %v", err)
+	}
+	if f2.Mirror != nil {
+		t.Fatal("MirrorEvery(-1) attached the mirror anyway")
+	}
+}
+
+// TestRecoverRestoresMirrorEveryMirror checks Recover honours a mirror
+// created by the per-run MirrorEvery override even when config-level
+// mirroring is off: PM holds a valid model, so restoreNow restores it.
+func TestRecoverRestoresMirrorEveryMirror(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MirrorFreq = -1
+	f := loadedFramework(t, cfg)
+	if err := f.Train(context.Background(), StopAt(10), MirrorEvery(2)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f.Crash()
+	if err := f.Recover(true); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := f.Iteration(); got != 10 {
+		t.Fatalf("recovered at iteration %d, want 10 from the MirrorEvery mirror", got)
+	}
+}
+
+// TestEnsureModelCurrentAfterLazyRecover checks the publish path never
+// snapshots the random post-Recover(false) weights: EnsureModelCurrent
+// pulls the mirror in first.
+func TestEnsureModelCurrentAfterLazyRecover(t *testing.T) {
+	f := loadedFramework(t, smallConfig())
+	if err := f.Train(context.Background(), StopAt(6)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f.Crash()
+	if err := f.Recover(false); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := f.Iteration(); got != 0 {
+		t.Fatalf("lazy recover should leave iteration 0, got %d", got)
+	}
+	if err := f.EnsureModelCurrent(); err != nil {
+		t.Fatalf("EnsureModelCurrent: %v", err)
+	}
+	if got := f.Iteration(); got != 6 {
+		t.Fatalf("EnsureModelCurrent restored iteration %d, want 6", got)
+	}
+}
+
+// TestTrainItersShimMatchesV1Semantics drives the deprecated shim.
+func TestTrainItersShimMatchesV1Semantics(t *testing.T) {
+	f := loadedFramework(t, smallConfig())
+	var iters []int
+	if err := f.TrainIters(3, func(iter int, _ float32) { iters = append(iters, iter) }); err != nil {
+		t.Fatalf("TrainIters: %v", err)
+	}
+	if len(iters) != 3 || iters[2] != 3 {
+		t.Fatalf("shim callback saw %v, want [1 2 3]", iters)
+	}
+	// A target at or below the current iteration is a no-op, as in v1.
+	if err := f.TrainIters(0, nil); err != nil {
+		t.Fatalf("TrainIters(0): %v", err)
+	}
+	if got := f.Iteration(); got != 3 {
+		t.Fatalf("TrainIters(0) moved iteration to %d", got)
+	}
+}
+
+// TestPublishAndPinLifecycle exercises the framework-level publication
+// API: versions advance, pinned restores see the pinned bytes.
+func TestPublishAndPinLifecycle(t *testing.T) {
+	f := loadedFramework(t, smallConfig())
+	if err := f.Train(context.Background(), StopAt(2)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if ver, err := f.LatestPublished(); err != nil || ver != 0 {
+		t.Fatalf("LatestPublished before publish = %d, %v", ver, err)
+	}
+	v1, err := f.Publish()
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if v1 != 1 {
+		t.Fatalf("first published version %d, want 1", v1)
+	}
+	if err := f.Train(context.Background(), StopAt(4)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	v2, err := f.Publish()
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if v2 != 2 {
+		t.Fatalf("second published version %d, want 2", v2)
+	}
+	// Publication survives crash/recover: the table is in PM.
+	f.Crash()
+	if err := f.Recover(true); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ver, err := f.LatestPublished()
+	if err != nil {
+		t.Fatalf("LatestPublished after recover: %v", err)
+	}
+	if ver != v2 {
+		t.Fatalf("latest after recover %d, want %d", ver, v2)
+	}
+}
+
+// TestRotateKeyKeepsTrainingAndRecoveryWorking rotates the data key
+// and checks the whole persistent state remains usable: training
+// continues (data matrix re-sealed), crash recovery restores under the
+// new key, and the key actually changed.
+func TestRotateKeyKeepsTrainingAndRecoveryWorking(t *testing.T) {
+	f := loadedFramework(t, smallConfig())
+	if err := f.Train(context.Background(), StopAt(3)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	oldKey := f.Key()
+	ver, err := f.RotateKey()
+	if err != nil {
+		t.Fatalf("RotateKey: %v", err)
+	}
+	if ver == 0 {
+		t.Fatal("RotateKey did not publish a new version")
+	}
+	if string(f.Key()) == string(oldKey) {
+		t.Fatal("RotateKey left the data key unchanged")
+	}
+	// Training continues against the re-sealed data matrix.
+	if err := f.Train(context.Background(), StopAt(5)); err != nil {
+		t.Fatalf("Train after rotate: %v", err)
+	}
+	// And the re-sealed mirror recovers after a crash.
+	f.Crash()
+	if err := f.Recover(true); err != nil {
+		t.Fatalf("Recover after rotate: %v", err)
+	}
+	if got := f.Iteration(); got != 5 {
+		t.Fatalf("recovered at %d, want 5", got)
+	}
+	if err := f.Train(context.Background(), StopAt(6)); err != nil {
+		t.Fatalf("Train after recover: %v", err)
+	}
+}
+
+// TestServableSentinels checks the fail-fast servability probe.
+func TestServableSentinels(t *testing.T) {
+	f := newFramework(t, smallConfig())
+	if err := f.Servable(); !errors.Is(err, ErrNoServableModel) {
+		t.Fatalf("fresh dataset-less Servable = %v, want ErrNoServableModel", err)
+	}
+	if err := f.LoadDataset(mnist.Synthetic(64, 3)); err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	if err := f.Servable(); err != nil {
+		t.Fatalf("Servable with dataset = %v", err)
+	}
+	f.Crash()
+	if err := f.Servable(); !errors.Is(err, ErrCrashedDown) {
+		t.Fatalf("crashed Servable = %v, want ErrCrashedDown", err)
+	}
+}

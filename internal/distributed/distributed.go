@@ -14,6 +14,7 @@
 package distributed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -116,7 +117,8 @@ func (c *Cluster) TrainRound(itersPerRound int) (float32, error) {
 			defer wg.Done()
 			target := w.Iteration() + itersPerRound
 			var last float32
-			err := w.Train(target, func(_ int, l float32) { last = l })
+			err := w.Train(context.Background(), core.StopAt(target),
+				core.WithProgress(func(_ int, l float32) { last = l }))
 			results[i] = outcome{loss: last, err: err}
 		}(i, w)
 	}

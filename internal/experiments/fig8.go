@@ -116,13 +116,13 @@ func runFig8Point(cfg Fig8Config, ds *mnist.Dataset, batch int, plaintext bool) 
 		return 0, 0, err
 	}
 	// Warm-up iteration (allocates layer workspaces).
-	if err := f.Train(1, nil); err != nil {
+	if err := f.TrainIters(1, nil); err != nil {
 		return 0, 0, err
 	}
 	pm0 := f.PM.Clock().Modeled()
 	encl0 := f.Enclave.Clock().Modeled()
 	start := time.Now()
-	if err := f.Train(1+cfg.Iters, nil); err != nil {
+	if err := f.TrainIters(1+cfg.Iters, nil); err != nil {
 		return 0, 0, err
 	}
 	wall := time.Since(start)

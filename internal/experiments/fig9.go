@@ -101,7 +101,7 @@ func RunFig9(cfg Fig9Config) (Fig9Result, error) {
 		return Fig9Result{}, err
 	}
 	res.Baseline = make([]float32, 0, cfg.Iters)
-	if err := baseline.Train(cfg.Iters, func(_ int, l float32) {
+	if err := baseline.TrainIters(cfg.Iters, func(_ int, l float32) {
 		res.Baseline = append(res.Baseline, l)
 	}); err != nil {
 		return Fig9Result{}, fmt.Errorf("fig9 baseline: %w", err)
@@ -118,7 +118,7 @@ func RunFig9(cfg Fig9Config) (Fig9Result, error) {
 	res.Resilient = make([]float32, 0, cfg.Iters)
 	record := func(_ int, l float32) { res.Resilient = append(res.Resilient, l) }
 	for _, crashAt := range crashIters {
-		if err := resilient.Train(crashAt, record); err != nil {
+		if err := resilient.TrainIters(crashAt, record); err != nil {
 			return Fig9Result{}, fmt.Errorf("fig9 resilient: %w", err)
 		}
 		resilient.Crash()
@@ -126,7 +126,7 @@ func RunFig9(cfg Fig9Config) (Fig9Result, error) {
 			return Fig9Result{}, fmt.Errorf("fig9 resilient recover: %w", err)
 		}
 	}
-	if err := resilient.Train(cfg.Iters, record); err != nil {
+	if err := resilient.TrainIters(cfg.Iters, record); err != nil {
 		return Fig9Result{}, fmt.Errorf("fig9 resilient tail: %w", err)
 	}
 
@@ -148,7 +148,7 @@ func RunFig9(cfg Fig9Config) (Fig9Result, error) {
 		// Train until the global step count reaches the crash point.
 		need := crashAt - global
 		if need > 0 {
-			if err := fresh.Train(fresh.Iteration()+need, recordFresh); err != nil {
+			if err := fresh.TrainIters(fresh.Iteration()+need, recordFresh); err != nil {
 				return Fig9Result{}, fmt.Errorf("fig9 non-resilient: %w", err)
 			}
 		}
@@ -159,7 +159,7 @@ func RunFig9(cfg Fig9Config) (Fig9Result, error) {
 	}
 	// Final segment: the model still needs the full cfg.Iters from its
 	// last restart.
-	if err := fresh.Train(cfg.Iters, recordFresh); err != nil {
+	if err := fresh.TrainIters(cfg.Iters, recordFresh); err != nil {
 		return Fig9Result{}, fmt.Errorf("fig9 non-resilient tail: %w", err)
 	}
 	res.NonResilientTotal = global

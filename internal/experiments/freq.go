@@ -57,7 +57,7 @@ func RunFreqAblation(freqs []int, iters int, seed int64) (FreqResult, error) {
 		}
 		pm0 := f.PM.Clock().Modeled()
 		start := time.Now()
-		if err := f.Train(iters, nil); err != nil {
+		if err := f.TrainIters(iters, nil); err != nil {
 			return FreqResult{}, fmt.Errorf("freq %d: %w", freq, err)
 		}
 		elapsed := time.Since(start) + (f.PM.Clock().Modeled() - pm0)

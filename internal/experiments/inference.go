@@ -76,7 +76,7 @@ func RunInference(cfg InferenceConfig) (InferenceResult, error) {
 	if err := f.LoadDataset(train); err != nil {
 		return InferenceResult{}, err
 	}
-	if err := f.Train(cfg.Iters, nil); err != nil {
+	if err := f.TrainIters(cfg.Iters, nil); err != nil {
 		return InferenceResult{}, fmt.Errorf("inference training: %w", err)
 	}
 	acc, err := f.Infer(test)

@@ -236,6 +236,51 @@ func (d *DataMatrix) Row(i int) (img, label []float32, err error) {
 	return vals[:imgLen], vals[imgLen:], nil
 }
 
+// Reseal re-encrypts every row under newEng's data key and switches the
+// matrix to it — the data half of key rotation. Rows are rewritten in
+// chunked durable transactions (like LoadData), so each chunk flips
+// atomically; a crash mid-rotation can however leave earlier chunks
+// under the new key and later ones under the old, in which case the
+// rotation must be re-run from the surviving key material. Plaintext
+// matrices (the Fig. 8 baseline) have nothing to re-seal.
+func (d *DataMatrix) Reseal(newEng *engine.Engine) error {
+	if !d.encrypted {
+		d.eng = newEng
+		return nil
+	}
+	stored := make([]byte, d.storedRow)
+	for start := 0; start < d.n; start += loadChunkRows {
+		end := start + loadChunkRows
+		if end > d.n {
+			end = d.n
+		}
+		err := d.rom.Update(func() error {
+			for i := start; i < end; i++ {
+				if err := d.rom.Load(d.dataOff+i*d.storedRow, stored); err != nil {
+					return err
+				}
+				plain, err := d.eng.Open(stored)
+				if err != nil {
+					return fmt.Errorf("reseal: decrypt row %d: %w", i, err)
+				}
+				resealed, err := newEng.Seal(plain)
+				if err != nil {
+					return fmt.Errorf("reseal: encrypt row %d: %w", i, err)
+				}
+				if err := d.rom.Store(d.dataOff+i*d.storedRow, resealed); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("data reseal rows %d-%d: %w", start, end, err)
+		}
+	}
+	d.eng = newEng
+	return nil
+}
+
 // Batch samples a training batch, decrypting rows from PM into enclave
 // memory (Fig. 5 steps 5-6; Algorithm 2 decrypt_pm_data).
 func (d *DataMatrix) Batch(rng *rand.Rand, size int) (x, y []float32, err error) {

@@ -25,8 +25,9 @@ import (
 
 // Root slots used by Plinius in the Romulus root table.
 const (
-	RootModel = 0
-	RootData  = 1
+	RootModel     = 0
+	RootData      = 1
+	RootPublished = 2
 )
 
 // Persistent layout offsets (all values little-endian uint64):
@@ -105,66 +106,80 @@ func AllocModel(rom *romulus.Romulus, eng *engine.Engine, net *darknet.Network, 
 	}
 	paramLayers := collectParamLayers(net)
 	err := rom.Update(func() error {
-		hdr, err := rom.Alloc(modelHdrSize)
+		hdr, layers, err := allocModelRegion(rom, paramLayers)
 		if err != nil {
 			return err
 		}
-		m.headOff = hdr
-		var prevNodeOff = -1
-		var firstNodeOff int
-		for _, params := range paramLayers {
-			nodeSize := nodeBufTable + nodeBufEntry*len(params)
-			nodeOff, err := rom.Alloc(nodeSize)
-			if err != nil {
-				return err
-			}
-			node := layerNode{off: nodeOff}
-			for bi, p := range params {
-				sealedLen := engine.SealedLen(4 * len(p))
-				bufOff, err := rom.Alloc(sealedLen)
-				if err != nil {
-					return err
-				}
-				node.bufs = append(node.bufs, bufRef{off: bufOff, sealedLen: sealedLen})
-				entry := nodeOff + nodeBufTable + nodeBufEntry*bi
-				if err := rom.StoreUint64(entry, uint64(bufOff)); err != nil {
-					return err
-				}
-				if err := rom.StoreUint64(entry+8, uint64(sealedLen)); err != nil {
-					return err
-				}
-			}
-			if err := rom.StoreUint64(nodeOff+nodeNext, 0); err != nil {
-				return err
-			}
-			if err := rom.StoreUint64(nodeOff+nodeNumBufs, uint64(len(params))); err != nil {
-				return err
-			}
-			if prevNodeOff >= 0 {
-				if err := rom.StoreUint64(prevNodeOff+nodeNext, uint64(nodeOff)); err != nil {
-					return err
-				}
-			} else {
-				firstNodeOff = nodeOff
-			}
-			prevNodeOff = nodeOff
-			m.layers = append(m.layers, node)
-		}
-		if err := rom.StoreUint64(hdr+modelHdrIter, 0); err != nil {
-			return err
-		}
-		if err := rom.StoreUint64(hdr+modelHdrNumL, uint64(len(paramLayers))); err != nil {
-			return err
-		}
-		if err := rom.StoreUint64(hdr+modelHdrHead, uint64(firstNodeOff)); err != nil {
-			return err
-		}
+		m.headOff, m.layers = hdr, layers
 		return rom.SetRoot(RootModel, hdr)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mirror alloc: %w", err)
 	}
 	return m, nil
+}
+
+// allocModelRegion lays out one persistent model region — header, layer
+// nodes and sealed buffers — inside an already-open transaction. It does
+// not root the region; callers decide where the header is referenced
+// from (the RootModel slot for the training mirror, a publication slot
+// for published snapshots).
+func allocModelRegion(rom *romulus.Romulus, paramLayers [][][]float32) (int, []layerNode, error) {
+	hdr, err := rom.Alloc(modelHdrSize)
+	if err != nil {
+		return 0, nil, err
+	}
+	var layers []layerNode
+	var prevNodeOff = -1
+	var firstNodeOff int
+	for _, params := range paramLayers {
+		nodeSize := nodeBufTable + nodeBufEntry*len(params)
+		nodeOff, err := rom.Alloc(nodeSize)
+		if err != nil {
+			return 0, nil, err
+		}
+		node := layerNode{off: nodeOff}
+		for bi, p := range params {
+			sealedLen := engine.SealedLen(4 * len(p))
+			bufOff, err := rom.Alloc(sealedLen)
+			if err != nil {
+				return 0, nil, err
+			}
+			node.bufs = append(node.bufs, bufRef{off: bufOff, sealedLen: sealedLen})
+			entry := nodeOff + nodeBufTable + nodeBufEntry*bi
+			if err := rom.StoreUint64(entry, uint64(bufOff)); err != nil {
+				return 0, nil, err
+			}
+			if err := rom.StoreUint64(entry+8, uint64(sealedLen)); err != nil {
+				return 0, nil, err
+			}
+		}
+		if err := rom.StoreUint64(nodeOff+nodeNext, 0); err != nil {
+			return 0, nil, err
+		}
+		if err := rom.StoreUint64(nodeOff+nodeNumBufs, uint64(len(params))); err != nil {
+			return 0, nil, err
+		}
+		if prevNodeOff >= 0 {
+			if err := rom.StoreUint64(prevNodeOff+nodeNext, uint64(nodeOff)); err != nil {
+				return 0, nil, err
+			}
+		} else {
+			firstNodeOff = nodeOff
+		}
+		prevNodeOff = nodeOff
+		layers = append(layers, node)
+	}
+	if err := rom.StoreUint64(hdr+modelHdrIter, 0); err != nil {
+		return 0, nil, err
+	}
+	if err := rom.StoreUint64(hdr+modelHdrNumL, uint64(len(paramLayers))); err != nil {
+		return 0, nil, err
+	}
+	if err := rom.StoreUint64(hdr+modelHdrHead, uint64(firstNodeOff)); err != nil {
+		return 0, nil, err
+	}
+	return hdr, layers, nil
 }
 
 // OpenModel attaches to an existing persistent model (after a restart or
@@ -177,6 +192,12 @@ func OpenModel(rom *romulus.Romulus, eng *engine.Engine, opts ...Option) (*Model
 	if hdr == 0 {
 		return nil, ErrNoMirror
 	}
+	return openModelAt(rom, eng, hdr, opts...)
+}
+
+// openModelAt attaches to the persistent model whose header is at hdr,
+// walking its layer list and validating the node structure.
+func openModelAt(rom *romulus.Romulus, eng *engine.Engine, hdr int, opts ...Option) (*Model, error) {
 	m := &Model{rom: rom, eng: eng, headOff: hdr}
 	for _, opt := range opts {
 		opt(m)
@@ -221,6 +242,11 @@ func OpenModel(rom *romulus.Romulus, eng *engine.Engine, opts ...Option) (*Model
 	}
 	return m, nil
 }
+
+// SetEngine swaps the encryption engine used for subsequent mirror
+// operations — the key-rotation path: after the owner provisions a new
+// data key, the next MirrorOut re-seals the parameters under it.
+func (m *Model) SetEngine(eng *engine.Engine) { m.eng = eng }
 
 // collectParamLayers returns the parameter buffers of every layer that
 // has any (conv: 5 buffers, connected: 2; pooling/softmax: none).

@@ -1,0 +1,331 @@
+// Versioned model publication (the serving side of the mirroring
+// module). Training overwrites the single mirror at RootModel every
+// iteration, which is exactly what crash recovery wants and exactly
+// what serving must not read from: a replica restoring mid-overwrite
+// would observe a torn model, so v1 forbade Server.Refresh racing a
+// MirrorOut.
+//
+// A Publication decouples the two: PublishOut seals the current
+// parameters into an immutable, monotonically versioned snapshot in a
+// separate PM region, and flips a "latest" pointer in one durable
+// transaction. Readers pin a version before restoring from it; a
+// pinned slot is never recycled, so a restore always reads a complete,
+// self-consistent snapshot no matter how much training (or further
+// publishing, or key rotation) happens concurrently.
+//
+// Persistent layout (root slot RootPublished, little-endian uint64):
+//
+//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff}
+//
+// Slot model regions reuse the mirror's layer-list layout. Pin counts
+// are volatile (a restart drops all pins, as the readers died with the
+// process). The Publication handle itself serializes its in-memory
+// bookkeeping; callers must still serialize the PM device access of
+// PublishOut and Pin.Open/Restore against other PM users, exactly like
+// every other romulus client in this repository.
+package mirror
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"plinius/internal/darknet"
+	"plinius/internal/engine"
+	"plinius/internal/romulus"
+)
+
+// Publication header layout.
+const (
+	pubHdrLatest   = 0
+	pubHdrNumSlots = 8
+	pubHdrSlots    = 16
+	pubSlotEntry   = 16 // version(8) + modelOff(8)
+
+	// maxPubSlots bounds the publication table. Slots are recycled as
+	// soon as they are neither latest nor pinned, so the table only
+	// grows while old versions are actively pinned by restoring
+	// replicas.
+	maxPubSlots = 8
+
+	pubHdrSize = pubHdrSlots + maxPubSlots*pubSlotEntry
+)
+
+// Publication errors.
+var (
+	ErrNoPublished    = errors.New("mirror: no published model version in PM")
+	ErrSlotsPinned    = errors.New("mirror: all publication slots are pinned; release a pinned version first")
+	ErrBadVersion     = errors.New("mirror: requested published version does not exist")
+	ErrPinReleased    = errors.New("mirror: pin has already been released")
+	ErrPubCorrupt     = errors.New("mirror: publication table is corrupt")
+	errSlotSuperseded = errors.New("mirror: publication slot superseded mid-pin") // internal consistency check
+)
+
+// pubSlot is one entry of the publication table.
+type pubSlot struct {
+	idx      int
+	version  uint64 // 0 = unpublished / retired
+	modelOff int
+	layers   []layerNode // cached layout of the slot's model region
+	pins     int
+}
+
+// Publication is a handle to the versioned publication table in PM.
+type Publication struct {
+	rom    *romulus.Romulus
+	hdrOff int
+
+	mu     sync.Mutex // guards latest, slots' version/pins bookkeeping
+	latest uint64
+	slots  []*pubSlot
+}
+
+// PublicationExists reports whether a publication table is rooted.
+func PublicationExists(rom *romulus.Romulus) bool {
+	off, err := rom.Root(RootPublished)
+	return err == nil && off != 0
+}
+
+// OpenPublication attaches to the publication table, creating an empty
+// one (in a durable transaction) on first use.
+func OpenPublication(rom *romulus.Romulus) (*Publication, error) {
+	hdr, err := rom.Root(RootPublished)
+	if err != nil {
+		return nil, err
+	}
+	p := &Publication{rom: rom}
+	if hdr == 0 {
+		err := rom.Update(func() error {
+			off, err := rom.Alloc(pubHdrSize)
+			if err != nil {
+				return err
+			}
+			p.hdrOff = off
+			// Freshly allocated PM is zeroed: latest 0, no slots.
+			return rom.SetRoot(RootPublished, off)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mirror publication alloc: %w", err)
+		}
+		return p, nil
+	}
+	p.hdrOff = hdr
+	latest, err := rom.LoadUint64(hdr + pubHdrLatest)
+	if err != nil {
+		return nil, err
+	}
+	numSlots, err := rom.LoadUint64(hdr + pubHdrNumSlots)
+	if err != nil {
+		return nil, err
+	}
+	if numSlots > maxPubSlots {
+		return nil, fmt.Errorf("%w: %d slots", ErrPubCorrupt, numSlots)
+	}
+	p.latest = latest
+	for i := 0; i < int(numSlots); i++ {
+		entry := hdr + pubHdrSlots + i*pubSlotEntry
+		version, err := rom.LoadUint64(entry)
+		if err != nil {
+			return nil, err
+		}
+		modelOff, err := rom.LoadUint64(entry + 8)
+		if err != nil {
+			return nil, err
+		}
+		s := &pubSlot{idx: i, version: version, modelOff: int(modelOff)}
+		if s.modelOff != 0 {
+			m, err := openModelAt(rom, nil, s.modelOff)
+			if err != nil {
+				return nil, fmt.Errorf("publication slot %d: %w", i, err)
+			}
+			s.layers = m.layers
+		}
+		p.slots = append(p.slots, s)
+	}
+	return p, nil
+}
+
+// LatestVersion returns the most recently published version, 0 if none.
+func (p *Publication) LatestVersion() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latest
+}
+
+// slotEntryOff returns the PM offset of slot i's table entry.
+func (p *Publication) slotEntryOff(i int) int {
+	return p.hdrOff + pubHdrSlots + i*pubSlotEntry
+}
+
+// pickSlot chooses (or allocates) a slot that can be overwritten:
+// unpinned and not the latest published version. Called with p.mu held.
+func (p *Publication) pickSlot(paramLayers [][][]float32) (*pubSlot, error) {
+	// Prefer a recyclable slot whose region already fits the shape.
+	var fallback *pubSlot
+	for _, s := range p.slots {
+		if s.pins > 0 || (s.version == p.latest && p.latest != 0) {
+			continue
+		}
+		if s.modelOff != 0 && layersMatch(s.layers, paramLayers) == nil {
+			return s, nil
+		}
+		fallback = s
+	}
+	if len(p.slots) < maxPubSlots {
+		idx := len(p.slots)
+		s := &pubSlot{idx: idx}
+		err := p.rom.Update(func() error {
+			return p.rom.StoreUint64(p.hdrOff+pubHdrNumSlots, uint64(idx+1))
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.slots = append(p.slots, s)
+		return s, nil
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, ErrSlotsPinned
+}
+
+// layersMatch checks a cached persistent layout against the network's
+// parameter shape, mirroring Model.matches without a Model handle.
+func layersMatch(layers []layerNode, paramLayers [][][]float32) error {
+	m := &Model{layers: layers}
+	return m.matches(paramLayers)
+}
+
+// PublishOut seals net's parameters into an immutable snapshot and
+// publishes it as the next version. The snapshot region is written
+// first (its slot marked unpublished), then the version and the latest
+// pointer flip in one durable transaction — a crash at any point leaves
+// the previous latest version intact and restorable.
+//
+// The caller must serialize PM access (PublishOut vs other romulus
+// users); the publication's own bookkeeping is internally locked.
+func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network) (uint64, error) {
+	paramLayers := collectParamLayers(net)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	slot, err := p.pickSlot(paramLayers)
+	if err != nil {
+		return 0, err
+	}
+	// Retire the slot before overwriting its bytes so a crash mid-write
+	// cannot leave a stale version number pointing at torn content.
+	if slot.version != 0 {
+		err := p.rom.Update(func() error {
+			return p.rom.StoreUint64(p.slotEntryOff(slot.idx), 0)
+		})
+		if err != nil {
+			return 0, err
+		}
+		slot.version = 0
+	}
+	// (Re)allocate the slot's model region if the shape changed. The
+	// old region leaks in the bump allocator; shapes are fixed per
+	// framework, so this happens at most once per slot in practice.
+	if slot.modelOff == 0 || layersMatch(slot.layers, paramLayers) != nil {
+		err := p.rom.Update(func() error {
+			hdr, layers, err := allocModelRegion(p.rom, paramLayers)
+			if err != nil {
+				return err
+			}
+			slot.modelOff, slot.layers = hdr, layers
+			return p.rom.StoreUint64(p.slotEntryOff(slot.idx)+8, uint64(hdr))
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	m := &Model{rom: p.rom, eng: eng, headOff: slot.modelOff, layers: slot.layers}
+	if err := m.MirrorOut(net); err != nil {
+		return 0, fmt.Errorf("publish seal: %w", err)
+	}
+	newVer := p.latest + 1
+	err = p.rom.Update(func() error {
+		if err := p.rom.StoreUint64(p.slotEntryOff(slot.idx), newVer); err != nil {
+			return err
+		}
+		return p.rom.StoreUint64(p.hdrOff+pubHdrLatest, newVer)
+	})
+	if err != nil {
+		return 0, err
+	}
+	slot.version = newVer
+	p.latest = newVer
+	return newVer, nil
+}
+
+// Pin is a reader's hold on one published version: while held, the
+// version's slot is never recycled by PublishOut.
+type Pin struct {
+	pub      *Publication
+	slot     *pubSlot
+	version  uint64
+	released bool
+	mu       sync.Mutex
+}
+
+// Pin pins a published version (0 pins the latest) and returns the
+// hold. Release it when the restore is done.
+func (p *Publication) Pin(version uint64) (*Pin, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.latest == 0 {
+		return nil, ErrNoPublished
+	}
+	if version == 0 {
+		version = p.latest
+	}
+	for _, s := range p.slots {
+		if s.version == version && version != 0 {
+			s.pins++
+			return &Pin{pub: p, slot: s, version: version}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: version %d (latest %d)", ErrBadVersion, version, p.latest)
+}
+
+// Version returns the pinned version number.
+func (pin *Pin) Version() uint64 { return pin.version }
+
+// Open returns a Model handle over the pinned snapshot, decrypting with
+// the reader's own engine (each replica enclave holds its own engine
+// instance over the provisioned data key). PM access through the handle
+// must be serialized by the caller like any other romulus use.
+func (pin *Pin) Open(eng *engine.Engine, opts ...Option) (*Model, error) {
+	pin.mu.Lock()
+	released := pin.released
+	pin.mu.Unlock()
+	if released {
+		return nil, ErrPinReleased
+	}
+	pin.pub.mu.Lock()
+	off := pin.slot.modelOff
+	ok := pin.slot.version == pin.version
+	pin.pub.mu.Unlock()
+	if !ok {
+		// Cannot happen while the pin is held (pinned slots are never
+		// recycled); kept as a hard consistency check.
+		return nil, errSlotSuperseded
+	}
+	return openModelAt(pin.pub.rom, eng, off, opts...)
+}
+
+// Release drops the hold, allowing the slot to be recycled once the
+// version is superseded. Release is idempotent.
+func (pin *Pin) Release() {
+	pin.mu.Lock()
+	if pin.released {
+		pin.mu.Unlock()
+		return
+	}
+	pin.released = true
+	pin.mu.Unlock()
+	pin.pub.mu.Lock()
+	pin.slot.pins--
+	pin.pub.mu.Unlock()
+}

@@ -1,0 +1,216 @@
+package mirror
+
+import (
+	"errors"
+	"testing"
+
+	"plinius/internal/darknet"
+	"plinius/internal/engine"
+)
+
+// publishNet publishes net and fails the test on error.
+func publishNet(t *testing.T, p *Publication, eng *engine.Engine, net *darknet.Network) uint64 {
+	t.Helper()
+	ver, err := p.PublishOut(eng, net)
+	if err != nil {
+		t.Fatalf("PublishOut: %v", err)
+	}
+	return ver
+}
+
+func TestPublishVersionsAreMonotonic(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	if got := p.LatestVersion(); got != 0 {
+		t.Fatalf("fresh publication latest = %d, want 0", got)
+	}
+	if _, err := p.Pin(0); !errors.Is(err, ErrNoPublished) {
+		t.Fatalf("Pin on empty publication = %v, want ErrNoPublished", err)
+	}
+	for want := uint64(1); want <= 5; want++ {
+		net.Iteration = int(want) * 10
+		ver := publishNet(t, p, eng, net)
+		if ver != want {
+			t.Fatalf("published version %d, want %d", ver, want)
+		}
+		if p.LatestVersion() != want {
+			t.Fatalf("latest %d, want %d", p.LatestVersion(), want)
+		}
+	}
+}
+
+func TestPinRestoresExactVersionDespiteLaterPublishes(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	net.Iteration = 7
+	v1 := publishNet(t, p, eng, net)
+	want := cloneParams(net)
+
+	pin, err := p.Pin(v1)
+	if err != nil {
+		t.Fatalf("Pin(%d): %v", v1, err)
+	}
+	defer pin.Release()
+
+	// Publish several later versions with perturbed parameters; the
+	// pinned slot must never be recycled under the pin.
+	for i := 0; i < maxPubSlots+2; i++ {
+		perturb(net, float32(i+1))
+		net.Iteration = 100 + i
+		publishNet(t, p, eng, net)
+	}
+
+	m, err := pin.Open(eng)
+	if err != nil {
+		t.Fatalf("pin.Open: %v", err)
+	}
+	restored := testNet(t, 2)
+	iter, err := m.MirrorIn(restored)
+	if err != nil {
+		t.Fatalf("MirrorIn pinned: %v", err)
+	}
+	if iter != 7 {
+		t.Fatalf("pinned restore iteration %d, want 7", iter)
+	}
+	got := cloneParams(restored)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("pinned snapshot mutated at param %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReleaseAllowsSlotRecycling(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	v1 := publishNet(t, p, eng, net)
+	pin, err := p.Pin(v1)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	pin.Release()
+	pin.Release() // idempotent
+	if _, err := pin.Open(eng); !errors.Is(err, ErrPinReleased) {
+		t.Fatalf("Open after Release = %v, want ErrPinReleased", err)
+	}
+	// With the pin released, many further publishes must keep cycling
+	// through the bounded slot table without error.
+	for i := 0; i < 3*maxPubSlots; i++ {
+		publishNet(t, p, eng, net)
+	}
+	if got := len(p.slots); got > maxPubSlots {
+		t.Fatalf("slot table grew to %d, cap %d", got, maxPubSlots)
+	}
+}
+
+func TestPublicationSurvivesReopen(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	net.Iteration = 42
+	ver := publishNet(t, p, eng, net)
+
+	// Re-attach (as Recover does) and restore the published version.
+	p2, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("re-OpenPublication: %v", err)
+	}
+	if p2.LatestVersion() != ver {
+		t.Fatalf("reopened latest %d, want %d", p2.LatestVersion(), ver)
+	}
+	pin, err := p2.Pin(0)
+	if err != nil {
+		t.Fatalf("Pin latest: %v", err)
+	}
+	defer pin.Release()
+	m, err := pin.Open(eng)
+	if err != nil {
+		t.Fatalf("pin.Open: %v", err)
+	}
+	restored := testNet(t, 3)
+	iter, err := m.MirrorIn(restored)
+	if err != nil {
+		t.Fatalf("MirrorIn: %v", err)
+	}
+	if iter != 42 {
+		t.Fatalf("restored iteration %d, want 42", iter)
+	}
+	if !netsEqual(net, restored) {
+		t.Fatal("reopened publication restored different parameters")
+	}
+}
+
+func TestAllSlotsPinnedErrors(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	var pins []*Pin
+	for i := 0; i < maxPubSlots; i++ {
+		ver := publishNet(t, p, eng, net)
+		pin, err := p.Pin(ver)
+		if err != nil {
+			t.Fatalf("Pin %d: %v", ver, err)
+		}
+		pins = append(pins, pin)
+	}
+	if _, err := p.PublishOut(eng, net); !errors.Is(err, ErrSlotsPinned) {
+		t.Fatalf("PublishOut with all slots pinned = %v, want ErrSlotsPinned", err)
+	}
+	pins[0].Release()
+	if _, err := p.PublishOut(eng, net); err != nil {
+		t.Fatalf("PublishOut after release: %v", err)
+	}
+	for _, pin := range pins[1:] {
+		pin.Release()
+	}
+}
+
+// cloneParams flattens every parameter buffer into one slice.
+func cloneParams(net *darknet.Network) []float32 {
+	var out []float32
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			out = append(out, p...)
+		}
+	}
+	return out
+}
+
+// perturb nudges every parameter so successive publishes differ.
+func perturb(net *darknet.Network, delta float32) {
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			for i := range p {
+				p[i] += delta * 1e-3
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOverloadedAtQueueBound floods a deliberately tiny queue in front
+// of a single slow-draining worker (MaxBatch 1, so every request costs
+// one full enclave forward) and checks admission control fires: some
+// requests fail fast with ErrOverloaded, every accepted request is
+// answered, and the counters agree. Run under -race this also checks
+// the enqueue fast path.
+func TestOverloadedAtQueueBound(t *testing.T) {
+	f, test := newTrainedFramework(t, 2)
+	s, err := New(context.Background(), f, Options{
+		Workers:         1,
+		MaxBatch:        1,
+		MaxQueueLatency: time.Millisecond,
+		QueueDepth:      2,
+	})
+	if err != nil {
+		t.Fatalf("New server: %v", err)
+	}
+	defer s.Close()
+
+	var served, rejected atomic.Uint64
+	// Burst until a rejection is observed (bounded attempts keep the
+	// test fast on any scheduler).
+	for attempt := 0; attempt < 20 && rejected.Load() == 0; attempt++ {
+		const burst = 128
+		var wg sync.WaitGroup
+		errCh := make(chan error, burst)
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, err := s.Classify(context.Background(), test.Image(i%test.N))
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					rejected.Add(1)
+				default:
+					errCh <- err
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatalf("Classify: %v", err)
+		}
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("no request was rejected with ErrOverloaded at queue depth 2 under sustained overload")
+	}
+	st := s.Stats()
+	if st.Rejected != rejected.Load() {
+		t.Fatalf("stats.Rejected = %d, clients saw %d", st.Rejected, rejected.Load())
+	}
+	if st.Requests != served.Load() {
+		t.Fatalf("stats.Requests = %d, clients saw %d served", st.Requests, served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("overload shed everything; accepted requests must still be served")
+	}
+}
+
+// TestExpiredQueuedRequestsSkipBatchSlots parks requests in a
+// slow-flushing batcher, cancels some of them while queued, and checks
+// the cancelled ones are dropped without ever occupying a micro-batch
+// slot: the surviving request is served in a batch of one and the drops
+// are counted as Expired.
+func TestExpiredQueuedRequestsSkipBatchSlots(t *testing.T) {
+	f, test := newTrainedFramework(t, 2)
+	const flushAfter = 300 * time.Millisecond
+	s, err := New(context.Background(), f, Options{
+		Workers:         1,
+		MaxBatch:        64,
+		MaxQueueLatency: flushAfter,
+	})
+	if err != nil {
+		t.Fatalf("New server: %v", err)
+	}
+	defer s.Close()
+
+	const cancelled = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelledWg sync.WaitGroup
+	for i := 0; i < cancelled; i++ {
+		cancelledWg.Add(1)
+		go func(i int) {
+			defer cancelledWg.Done()
+			_, err := s.Classify(ctx, test.Image(i))
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled request %d = %v, want context.Canceled", i, err)
+			}
+		}(i)
+	}
+	type outcome struct {
+		pred Prediction
+		err  error
+	}
+	survivor := make(chan outcome, 1)
+	go func() {
+		pred, err := s.Classify(context.Background(), test.Image(7))
+		survivor <- outcome{pred, err}
+	}()
+
+	// Let all three enqueue into the waiting batch, then cancel two of
+	// them well before the 300ms flush.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	cancelledWg.Wait()
+
+	res := <-survivor
+	if res.err != nil {
+		t.Fatalf("surviving request: %v", res.err)
+	}
+	if res.pred.BatchSize != 1 {
+		t.Fatalf("survivor rode a batch of %d; expired requests consumed batch slots", res.pred.BatchSize)
+	}
+	st := s.Stats()
+	if st.Expired != cancelled {
+		t.Fatalf("stats.Expired = %d, want %d", st.Expired, cancelled)
+	}
+	if st.Requests != 1 {
+		t.Fatalf("stats.Requests = %d, want 1", st.Requests)
+	}
+}
+
+// TestDeadlineExpiredQueuedRequest is the deadline (not cancel) variant:
+// a request whose deadline lapses while queued returns DeadlineExceeded
+// and never reaches a worker.
+func TestDeadlineExpiredQueuedRequest(t *testing.T) {
+	f, test := newTrainedFramework(t, 2)
+	s, err := New(context.Background(), f, Options{
+		Workers:         1,
+		MaxBatch:        64,
+		MaxQueueLatency: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New server: %v", err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := s.Classify(ctx, test.Image(0)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-expired Classify = %v, want DeadlineExceeded", err)
+	}
+	// The lone live request after it still gets a batch of one.
+	pred, err := s.Classify(context.Background(), test.Image(1))
+	if err != nil {
+		t.Fatalf("follow-up Classify: %v", err)
+	}
+	if pred.BatchSize != 1 {
+		t.Fatalf("follow-up rode batch of %d, want 1", pred.BatchSize)
+	}
+	if st := s.Stats(); st.Expired == 0 {
+		t.Fatalf("deadline drop not counted: %+v", st)
+	}
+}

@@ -7,11 +7,25 @@
 // when it reaches Options.MaxBatch or when its oldest request has
 // waited Options.MaxQueueLatency — and fans the batches out to a pool
 // of enclave worker replicas. Each replica is its own enclave with its
-// own encryption engine and its own copy of the model restored from
-// the encrypted persistent mirror (core.Replica), so workers share no
-// mutable state and scale across cores while parameters and inputs
+// own encryption engine and its own copy of the model restored from an
+// immutable published snapshot in PM (core.Replica), so workers share
+// no mutable state and scale across cores while parameters and inputs
 // stay inside enclave memory, exactly as in the single-enclave
 // experiment.
+//
+// Admission control is deadline-aware: the request queue is bounded
+// (Options.QueueDepth) and a full queue rejects immediately with
+// ErrOverloaded rather than applying unbounded backpressure; a queued
+// request whose context expires before dispatch is dropped without
+// ever occupying a micro-batch slot.
+//
+// The server participates in the v2 model-publication handshake:
+// Refresh restores every replica to the latest published version, one
+// replica at a time, while the others keep serving — zero-downtime and
+// race-free against concurrent training, because published snapshots
+// are immutable and pinned during restore. RotateKey re-provisions the
+// data key end to end (framework re-seal + per-replica attested key
+// delivery) with the same no-gap property.
 //
 // Dispatch preserves the model's math: every layer processes batch
 // samples independently, so a request's predicted class is identical
@@ -48,8 +62,10 @@ type Options struct {
 	// its batch to fill before the batch is flushed anyway (default
 	// 2ms). Lower values favour latency, higher values throughput.
 	MaxQueueLatency time.Duration
-	// QueueDepth is the request queue capacity; Classify blocks (or
-	// honours its context) while the queue is full (default 1024).
+	// QueueDepth is the request queue capacity (default 1024). A
+	// Classify arriving at a full queue is rejected immediately with
+	// ErrOverloaded; callers are expected to shed or retry with
+	// backoff.
 	QueueDepth int
 	// Seed differentiates the replica enclaves' RNGs (IVs etc.).
 	Seed int64
@@ -82,15 +98,20 @@ type Prediction struct {
 	BatchSize int
 	// Worker is the index of the replica that served the request.
 	Worker int
+	// ModelVersion is the published model version that answered.
+	ModelVersion uint64
 }
 
 // Server errors.
 var (
-	ErrClosed   = errors.New("serve: server is closed")
-	ErrBadImage = errors.New("serve: image does not match the model input size")
+	ErrClosed      = errors.New("serve: server is closed")
+	ErrBadImage    = errors.New("serve: image does not match the model input size")
+	ErrOverloaded  = errors.New("serve: request queue is full")
+	ErrNotServable = errors.New("serve: framework cannot serve a model")
 )
 
 type request struct {
+	ctx   context.Context
 	image []float32
 	enq   time.Time
 	done  chan result
@@ -101,52 +122,100 @@ type result struct {
 	err  error
 }
 
-// refreshCall asks a worker to re-restore its replica from PM inside
-// the worker goroutine, so refreshes serialize with classification.
-type refreshCall struct {
-	ack chan refreshReply
+// ctlKind selects a worker control operation; control calls run inside
+// the worker goroutine, so they serialize with classification on that
+// replica while the rest of the pool keeps serving.
+type ctlKind int
+
+const (
+	ctlRefresh ctlKind = iota
+	ctlRotate
+)
+
+type ctlCall struct {
+	kind ctlKind
+	ack  chan ctlReply
 }
 
-type refreshReply struct {
-	iter int
-	err  error
+type ctlReply struct {
+	iter    int
+	version uint64
+	err     error
 }
 
 // Server is a running inference service over one trained framework.
 type Server struct {
 	opts      Options
+	f         *core.Framework
 	inputSize int
 	replicas  []*core.Replica
 
-	reqCh     chan *request
-	batchCh   chan []*request
-	refreshCh []chan refreshCall // one per worker
-	wg        sync.WaitGroup
+	reqCh   chan *request
+	batchCh chan []*request
+	ctlCh   []chan ctlCall // one per worker
+	wg      sync.WaitGroup
 
 	mu     sync.RWMutex // guards closed; held shared across enqueues
 	closed bool
-	iter   atomic.Int64 // training iteration of the served model
+	ctlMu  sync.Mutex    // serializes Refresh / RotateKey
+	iter   atomic.Int64  // training iteration of the served model
+	ver    atomic.Uint64 // published version of the served model
 
 	stats statsCollector
 }
 
 // New builds and starts a Server on f's model. The current enclave
-// parameters are first mirrored out to PM (so serving sees exactly the
-// weights f holds), then Options.Workers replicas are attested,
-// provisioned and restored from that mirror. The framework must keep
-// mirroring enabled; it must not Train concurrently with serving.
-func New(f *core.Framework, opts Options) (*Server, error) {
+// parameters are published to PM as an immutable versioned snapshot
+// (so serving sees exactly the weights f holds), then Options.Workers
+// replicas are attested, provisioned and restored from that pinned
+// version. Training may continue concurrently: call Refresh to roll
+// the pool forward to a later published version.
+//
+// ctx bounds server construction (replica attestation and restore); it
+// does not affect the running server. A framework that cannot serve —
+// crashed, or dataset-less with nothing published or mirrored in PM —
+// fails fast with an error matching ErrNotServable (and the underlying
+// core sentinel).
+func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	if _, err := f.MirrorSave(); err != nil {
-		return nil, fmt.Errorf("serve: publish model to PM: %w", err)
+	if err := f.Servable(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrNotServable, err)
+	}
+	// A lazily-recovered framework (Recover with restoreNow=false)
+	// still holds random weights while PM holds the real model; pull
+	// the mirror in before publishing so serving never snapshots an
+	// untrained enclave state.
+	if err := f.EnsureModelCurrent(); err != nil {
+		return nil, fmt.Errorf("serve: restore model before publish: %w", err)
+	}
+	ver, err := f.LatestPublished()
+	if err != nil {
+		return nil, fmt.Errorf("serve: read publication: %w", err)
+	}
+	// Publish the framework's current model — unless the enclave holds
+	// nothing (iteration 0, e.g. dataset-less after a restart) and a
+	// previously published version already exists; then serve that
+	// instead of superseding it with random weights.
+	if f.Iteration() > 0 || ver == 0 {
+		ver, err = f.Publish()
+		if err != nil {
+			return nil, fmt.Errorf("serve: publish model to PM: %w", err)
+		}
 	}
 	s := &Server{
 		opts:      opts,
+		f:         f,
 		inputSize: f.Net.InputSize(),
 		reqCh:     make(chan *request, opts.QueueDepth),
 		batchCh:   make(chan []*request),
 	}
 	for i := 0; i < opts.Workers; i++ {
+		if err := ctx.Err(); err != nil {
+			for _, r := range s.replicas {
+				_ = r.Close()
+			}
+			return nil, fmt.Errorf("serve: cancelled building replica %d: %w", i, err)
+		}
 		rep, err := f.NewReplica(opts.Seed + int64(i) + 1)
 		if err != nil {
 			for _, r := range s.replicas {
@@ -157,12 +226,13 @@ func New(f *core.Framework, opts Options) (*Server, error) {
 		s.replicas = append(s.replicas, rep)
 	}
 	s.iter.Store(int64(s.replicas[0].Iteration()))
+	s.ver.Store(ver)
 	s.stats.start = time.Now()
 	s.wg.Add(1 + opts.Workers)
 	go s.batcher()
 	for i, rep := range s.replicas {
-		ch := make(chan refreshCall)
-		s.refreshCh = append(s.refreshCh, ch)
+		ch := make(chan ctlCall)
+		s.ctlCh = append(s.ctlCh, ch)
 		go s.worker(i, rep, ch)
 	}
 	return s, nil
@@ -171,27 +241,33 @@ func New(f *core.Framework, opts Options) (*Server, error) {
 // Classify submits one image and blocks until its micro-batch has been
 // served or ctx is done. The image must stay unmodified for the
 // duration of the call (it is copied into the batch buffer only at
-// dispatch).
+// dispatch). A full request queue rejects immediately with
+// ErrOverloaded; a request whose ctx expires while queued is dropped
+// without occupying a batch slot.
 func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, err
+	}
 	if len(image) != s.inputSize {
 		return Prediction{}, fmt.Errorf("%w: got %d floats, want %d", ErrBadImage, len(image), s.inputSize)
 	}
-	req := &request{image: image, enq: time.Now(), done: make(chan result, 1)}
+	req := &request{ctx: ctx, image: image, enq: time.Now(), done: make(chan result, 1)}
 
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return Prediction{}, ErrClosed
 	}
-	// The shared lock is held across the send so Close cannot close
-	// reqCh between the check and the enqueue; the batcher keeps
-	// draining until Close, so a full queue cannot deadlock Close.
+	// The shared lock is held across the enqueue so Close cannot close
+	// reqCh between the check and the send. The send never blocks: a
+	// full queue is an admission-control rejection, not backpressure.
 	select {
 	case s.reqCh <- req:
 		s.mu.RUnlock()
-	case <-ctx.Done():
+	default:
 		s.mu.RUnlock()
-		return Prediction{}, ctx.Err()
+		s.stats.recordRejected()
+		return Prediction{}, fmt.Errorf("%w (depth %d)", ErrOverloaded, s.opts.QueueDepth)
 	}
 
 	select {
@@ -204,7 +280,8 @@ func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, err
 
 // batcher coalesces queued requests into micro-batches: a batch goes
 // out when it reaches MaxBatch or when its first request has waited
-// MaxQueueLatency.
+// MaxQueueLatency. Requests whose context already expired are dropped
+// here, before they can occupy a batch slot.
 func (s *Server) batcher() {
 	defer s.wg.Done()
 	defer close(s.batchCh)
@@ -230,6 +307,10 @@ func (s *Server) batcher() {
 				flush()
 				return
 			}
+			if req.ctx.Err() != nil {
+				s.stats.recordExpired()
+				continue
+			}
 			batch = append(batch, req)
 			if len(batch) >= s.opts.MaxBatch {
 				flush()
@@ -244,35 +325,50 @@ func (s *Server) batcher() {
 	}
 }
 
-// worker serves micro-batches on one enclave replica: copy the images
-// into the contiguous batch buffer, one network forward in the
-// replica enclave, then deliver per-request results. Refresh calls run
-// in the same loop, so they never race with classification.
-func (s *Server) worker(id int, rep *core.Replica, refresh <-chan refreshCall) {
+// worker serves micro-batches on one enclave replica: drop requests
+// that expired while the batch waited, copy the live images into the
+// contiguous batch buffer, one network forward in the replica enclave,
+// then deliver per-request results. Control calls (refresh, rotate)
+// run in the same loop, so they never race with classification on this
+// replica.
+func (s *Server) worker(id int, rep *core.Replica, ctl <-chan ctlCall) {
 	defer s.wg.Done()
 	buf := make([]float32, s.opts.MaxBatch*s.inputSize)
+	live := make([]*request, 0, s.opts.MaxBatch)
 	for {
 		select {
 		case batch, ok := <-s.batchCh:
 			if !ok {
 				return
 			}
-			n := len(batch)
-			for i, req := range batch {
+			live = live[:0]
+			for _, req := range batch {
+				if req.ctx.Err() != nil {
+					s.stats.recordExpired()
+					continue
+				}
+				live = append(live, req)
+			}
+			if len(live) == 0 {
+				continue
+			}
+			n := len(live)
+			for i, req := range live {
 				copy(buf[i*s.inputSize:(i+1)*s.inputSize], req.image)
 			}
 			classes, err := rep.ClassifyBatch(buf[:n*s.inputSize])
 			now := time.Now()
-			for i, req := range batch {
+			for i, req := range live {
 				if err != nil {
 					req.done <- result{err: err}
 					continue
 				}
 				pred := Prediction{
-					Class:     classes[i],
-					Latency:   now.Sub(req.enq),
-					BatchSize: n,
-					Worker:    id,
+					Class:        classes[i],
+					Latency:      now.Sub(req.enq),
+					BatchSize:    n,
+					Worker:       id,
+					ModelVersion: rep.Version(),
 				}
 				s.stats.record(pred)
 				req.done <- result{pred: pred}
@@ -280,9 +376,16 @@ func (s *Server) worker(id int, rep *core.Replica, refresh <-chan refreshCall) {
 			if err == nil {
 				s.stats.recordBatch()
 			}
-		case call := <-refresh:
-			iter, err := rep.Refresh()
-			call.ack <- refreshReply{iter: iter, err: err}
+		case call := <-ctl:
+			var reply ctlReply
+			switch call.kind {
+			case ctlRefresh:
+				reply.iter, reply.err = rep.Refresh()
+			case ctlRotate:
+				reply.iter, reply.err = rep.Rotate()
+			}
+			reply.version = rep.Version()
+			call.ack <- reply
 		}
 	}
 }
@@ -316,26 +419,31 @@ func (s *Server) Workers() int { return len(s.replicas) }
 // Iteration returns the training iteration of the served model.
 func (s *Server) Iteration() int { return int(s.iter.Load()) }
 
-// Refresh re-reads the persistent mirror on every replica, picking up
-// a model update mirrored since the server started (e.g. after more
-// training and a MirrorSave). Each replica refreshes inside its worker
-// goroutine, so in-flight batches and the refresh never interleave on
-// one replica; the server keeps serving on the other replicas
-// meanwhile. Refresh must not run concurrently with a MirrorOut.
-//
-// Every replica is attempted even if one fails; on error the pool may
-// be serving mixed model versions (Iteration still reports the old
-// one) — retry Refresh or Close the server.
-func (s *Server) Refresh() (int, error) {
+// Version returns the published model version the pool serves (the
+// lowest across replicas mid-refresh; all replicas converge once a
+// Refresh or RotateKey completes).
+func (s *Server) Version() uint64 { return s.ver.Load() }
+
+// broadcast runs one control operation on every replica, one at a
+// time, inside each worker's goroutine: the replica being updated
+// pauses, the rest of the pool keeps serving, so there is never a
+// serving gap. ctx cancels between replicas (never mid-replica).
+func (s *Server) broadcast(ctx context.Context, kind ctlKind) (int, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
-	iter := 0
-	var firstErr error
-	for _, ch := range s.refreshCh {
-		call := refreshCall{ack: make(chan refreshReply, 1)}
+	var (
+		iter     int
+		version  uint64
+		firstErr error
+	)
+	for i, ch := range s.ctlCh {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, fmt.Errorf("serve: cancelled before replica %d: %w", i, err)
+		}
+		call := ctlCall{kind: kind, ack: make(chan ctlReply, 1)}
 		ch <- call
 		reply := <-call.ack
 		if reply.err != nil {
@@ -344,13 +452,65 @@ func (s *Server) Refresh() (int, error) {
 			}
 			continue
 		}
-		iter = reply.iter
+		iter, version = reply.iter, reply.version
 	}
 	if firstErr != nil {
-		return 0, firstErr
+		return 0, 0, firstErr
+	}
+	return iter, version, nil
+}
+
+// Refresh rolls every replica forward to the latest published model
+// version, one replica at a time, and returns the restored iteration.
+// It is zero-downtime (the pool keeps serving throughout) and safe
+// against concurrent training: each replica pins the version it
+// restores, and published snapshots are immutable, so no torn model
+// can ever be observed.
+//
+// Every replica is attempted even if one fails; on error the pool may
+// be serving mixed versions (Iteration and Version keep the old
+// values) — retry Refresh or Close the server.
+func (s *Server) Refresh(ctx context.Context) (int, error) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	iter, version, err := s.broadcast(ctx, ctlRefresh)
+	if err != nil {
+		return 0, err
 	}
 	s.iter.Store(int64(iter))
+	s.ver.Store(version)
 	return iter, nil
+}
+
+// RefreshSync re-reads the published model on every replica.
+//
+// Deprecated: RefreshSync is the v1 Refresh() signature kept as a thin
+// shim; use Refresh(ctx), which adds cancellation between replicas.
+func (s *Server) RefreshSync() (int, error) { return s.Refresh(context.Background()) }
+
+// RotateKey rotates the data key end to end without a serving gap:
+// the framework generates a fresh key, re-seals the training data
+// matrix and PM mirror, and publishes a new snapshot under the new
+// key; then every replica, one at a time, receives the key over a
+// fresh attestation channel and restores the new snapshot while the
+// rest of the pool keeps serving. It returns the published version
+// now being served.
+func (s *Server) RotateKey(ctx context.Context) (uint64, error) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if _, err := s.f.RotateKey(); err != nil {
+		return 0, err
+	}
+	iter, version, err := s.broadcast(ctx, ctlRotate)
+	if err != nil {
+		return 0, err
+	}
+	s.iter.Store(int64(iter))
+	s.ver.Store(version)
+	return version, nil
 }
 
 // Stats returns a snapshot of the serving counters.

@@ -32,7 +32,7 @@ func newTrainedFramework(t testing.TB, iters int) (*core.Framework, *mnist.Datas
 	if err := f.LoadDataset(train); err != nil {
 		t.Fatalf("LoadDataset: %v", err)
 	}
-	if err := f.Train(iters, nil); err != nil {
+	if err := f.TrainIters(iters, nil); err != nil {
 		t.Fatalf("Train: %v", err)
 	}
 	return f, test
@@ -58,7 +58,7 @@ func TestServeMatchesSequentialInfer(t *testing.T) {
 		t.Fatalf("Infer: %v", err)
 	}
 
-	s, err := New(f, Options{Workers: 2, MaxBatch: 8, MaxQueueLatency: time.Millisecond})
+	s, err := New(context.Background(), f, Options{Workers: 2, MaxBatch: 8, MaxQueueLatency: time.Millisecond})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -104,7 +104,7 @@ func TestServeMatchesSequentialInfer(t *testing.T) {
 // check.
 func TestConcurrentClientsManyWorkers(t *testing.T) {
 	f, test := newTrainedFramework(t, 4)
-	s, err := New(f, Options{Workers: 4, MaxBatch: 16, MaxQueueLatency: 500 * time.Microsecond})
+	s, err := New(context.Background(), f, Options{Workers: 4, MaxBatch: 16, MaxQueueLatency: 500 * time.Microsecond})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -151,7 +151,7 @@ func TestConcurrentClientsManyWorkers(t *testing.T) {
 func TestQueueLatencyFlush(t *testing.T) {
 	f, test := newTrainedFramework(t, 2)
 	const maxLat = 20 * time.Millisecond
-	s, err := New(f, Options{Workers: 1, MaxBatch: 64, MaxQueueLatency: maxLat})
+	s, err := New(context.Background(), f, Options{Workers: 1, MaxBatch: 64, MaxQueueLatency: maxLat})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -178,7 +178,7 @@ func TestQueueLatencyFlush(t *testing.T) {
 // micro-batch (dispatch at MaxBatch, not per request).
 func TestBatchCoalescing(t *testing.T) {
 	f, test := newTrainedFramework(t, 2)
-	s, err := New(f, Options{Workers: 1, MaxBatch: 8, MaxQueueLatency: 40 * time.Millisecond})
+	s, err := New(context.Background(), f, Options{Workers: 1, MaxBatch: 8, MaxQueueLatency: 40 * time.Millisecond})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -219,7 +219,7 @@ func TestBatchCoalescing(t *testing.T) {
 // request must complete, later ones must fail with ErrServerClosed.
 func TestGracefulShutdown(t *testing.T) {
 	f, test := newTrainedFramework(t, 2)
-	s, err := New(f, Options{Workers: 2, MaxBatch: 4, MaxQueueLatency: time.Millisecond})
+	s, err := New(context.Background(), f, Options{Workers: 2, MaxBatch: 4, MaxQueueLatency: time.Millisecond})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -267,7 +267,7 @@ func TestGracefulShutdown(t *testing.T) {
 // and checks Refresh advances the served iteration.
 func TestRefreshPicksUpNewModel(t *testing.T) {
 	f, test := newTrainedFramework(t, 4)
-	s, err := New(f, Options{Workers: 2, MaxBatch: 4, MaxQueueLatency: time.Millisecond})
+	s, err := New(context.Background(), f, Options{Workers: 2, MaxBatch: 4, MaxQueueLatency: time.Millisecond})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -276,13 +276,13 @@ func TestRefreshPicksUpNewModel(t *testing.T) {
 		t.Fatalf("served iteration %d, want 4", got)
 	}
 
-	if err := f.Train(8, nil); err != nil {
+	if err := f.TrainIters(8, nil); err != nil {
 		t.Fatalf("Train: %v", err)
 	}
-	if _, err := f.MirrorSave(); err != nil {
-		t.Fatalf("MirrorSave: %v", err)
+	if _, err := f.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
 	}
-	iter, err := s.Refresh()
+	iter, err := s.Refresh(context.Background())
 	if err != nil {
 		t.Fatalf("Refresh: %v", err)
 	}
@@ -298,7 +298,7 @@ func TestRefreshPicksUpNewModel(t *testing.T) {
 // request without wedging the server.
 func TestClassifyContextCancel(t *testing.T) {
 	f, test := newTrainedFramework(t, 2)
-	s, err := New(f, Options{Workers: 1, MaxBatch: 4, MaxQueueLatency: 50 * time.Millisecond})
+	s, err := New(context.Background(), f, Options{Workers: 1, MaxBatch: 4, MaxQueueLatency: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}
@@ -315,9 +315,11 @@ func TestClassifyContextCancel(t *testing.T) {
 	}
 }
 
-// TestServeRequiresMirroring checks the clear error when the framework
-// cannot publish a model to PM.
-func TestServeRequiresMirroring(t *testing.T) {
+// TestServeNotServableSentinels checks the fail-fast sentinels: a
+// dataset-less framework with nothing in PM, and a crashed framework,
+// both reject with errors matching ErrNotServable and the underlying
+// core cause, instead of failing deep inside replica restore.
+func TestServeNotServableSentinels(t *testing.T) {
 	f, err := core.New(core.Config{
 		ModelConfig: darknet.MNISTConfig(1, 4, 16),
 		PMBytes:     64 << 20,
@@ -327,15 +329,29 @@ func TestServeRequiresMirroring(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := New(f, Options{}); err == nil {
-		t.Fatal("serving a mirror-less framework succeeded")
+	_, err = New(context.Background(), f, Options{})
+	if !errors.Is(err, ErrNotServable) {
+		t.Fatalf("dataset-less Serve = %v, want ErrNotServable", err)
+	}
+	if !errors.Is(err, core.ErrNoServableModel) {
+		t.Fatalf("dataset-less Serve = %v, want ErrNoServableModel cause", err)
+	}
+
+	crashed, _ := newTrainedFramework(t, 2)
+	crashed.Crash()
+	_, err = New(context.Background(), crashed, Options{})
+	if !errors.Is(err, ErrNotServable) {
+		t.Fatalf("crashed Serve = %v, want ErrNotServable", err)
+	}
+	if !errors.Is(err, core.ErrCrashedDown) {
+		t.Fatalf("crashed Serve = %v, want ErrCrashedDown cause", err)
 	}
 }
 
 // TestBadImageSize checks input validation.
 func TestBadImageSize(t *testing.T) {
 	f, _ := newTrainedFramework(t, 2)
-	s, err := New(f, Options{Workers: 1})
+	s, err := New(context.Background(), f, Options{Workers: 1})
 	if err != nil {
 		t.Fatalf("New server: %v", err)
 	}

@@ -9,6 +9,12 @@ import (
 type Stats struct {
 	// Requests is the number of requests served successfully.
 	Requests uint64
+	// Rejected counts admission-control rejections: requests that
+	// arrived at a full queue and failed fast with ErrOverloaded.
+	Rejected uint64
+	// Expired counts queued requests dropped because their context
+	// ended before dispatch; they never occupied a batch slot.
+	Expired uint64
 	// Batches is the number of micro-batches dispatched.
 	Batches uint64
 	// AvgBatch is the mean micro-batch size.
@@ -28,6 +34,8 @@ type statsCollector struct {
 	mu       sync.Mutex
 	start    time.Time
 	requests uint64
+	rejected uint64
+	expired  uint64
 	batches  uint64
 	latSum   time.Duration
 	latMax   time.Duration
@@ -49,11 +57,25 @@ func (c *statsCollector) recordBatch() {
 	c.mu.Unlock()
 }
 
+func (c *statsCollector) recordRejected() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) recordExpired() {
+	c.mu.Lock()
+	c.expired++
+	c.mu.Unlock()
+}
+
 func (c *statsCollector) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Stats{
 		Requests: c.requests,
+		Rejected: c.rejected,
+		Expired:  c.expired,
 		Batches:  c.batches,
 		Uptime:   time.Since(c.start),
 	}

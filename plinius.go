@@ -5,23 +5,44 @@
 // library, the SGX-Darknet CNN framework, and the paper's encrypted
 // mirroring mechanism.
 //
-// Quick start:
+// Quick start (v2, context-first API):
 //
 //	f, err := plinius.New(plinius.Config{
 //	    ModelConfig: plinius.MNISTConfig(5, 16, 128),
 //	})
 //	ds := plinius.SyntheticDataset(60000, 42)
 //	err = f.LoadDataset(ds)
-//	err = f.Train(500, func(iter int, loss float32) { ... })
+//
+//	// Train until iteration 500 or until ctx is cancelled; a
+//	// cancelled run stops at a mirror-consistent boundary, so it is
+//	// always recoverable.
+//	err = f.Train(ctx, plinius.StopAt(500),
+//	    plinius.WithProgress(func(iter int, loss float32) { ... }))
 //
 // A Framework survives crashes: call Crash to simulate a power failure
 // or spot-instance reclamation, Recover to restart the process, and
 // training resumes from the last mirrored iteration with the training
-// data still byte-addressable in PM. See the examples directory and
-// cmd/plinius-bench for the paper's full evaluation.
+// data still byte-addressable in PM.
+//
+// Serving is built on versioned model publication: Serve publishes the
+// current parameters as an immutable snapshot in PM and restores a pool
+// of attested enclave replicas from it. Training may continue while the
+// server runs; Server.Refresh rolls the pool to the latest published
+// version and Server.RotateKey re-provisions the data key, both with
+// zero serving downtime:
+//
+//	srv, err := plinius.Serve(ctx, f, plinius.ServerOptions{Workers: 4})
+//	pred, err := srv.Classify(reqCtx, image) // ErrOverloaded when saturated
+//	go f.Train(trainCtx)                     // keep training concurrently
+//	iter, err := srv.Refresh(ctx)            // serve the newer model
+//	ver, err := srv.RotateKey(ctx)           // new data key, no gap
+//
+// See the examples directory and cmd/plinius-bench for the paper's full
+// evaluation.
 package plinius
 
 import (
+	"context"
 	"io"
 
 	"plinius/internal/core"
@@ -39,6 +60,9 @@ type (
 	Config = core.Config
 	// Framework is a live Plinius instance.
 	Framework = core.Framework
+	// TrainOption configures one Train run (StopAt, WithProgress,
+	// MirrorEvery).
+	TrainOption = core.TrainOption
 	// ServerProfile bundles one evaluation machine's cost models.
 	ServerProfile = core.ServerProfile
 	// StepTiming is a save/restore latency breakdown (Fig. 7 bars).
@@ -60,6 +84,17 @@ var (
 	ErrNoDataset   = core.ErrNoDataset
 	ErrCrashedDown = core.ErrCrashedDown
 	ErrNotCrashed  = core.ErrNotCrashed
+)
+
+// Training options for Framework.Train (the v2 context-first API).
+var (
+	// StopAt stops the run once the model has completed the given
+	// iteration count; without it Train runs until ctx is cancelled.
+	StopAt = core.StopAt
+	// WithProgress installs a per-iteration loss hook.
+	WithProgress = core.WithProgress
+	// MirrorEvery overrides the mirror frequency for one run.
+	MirrorEvery = core.MirrorEvery
 )
 
 // New builds a Framework: enclave creation, remote attestation and key
@@ -124,12 +159,12 @@ func RunSpot(t SpotTrace, cfg SpotConfig, tr spot.Trainer) (SpotResult, error) {
 
 // Secure inference serving: request-level classification with dynamic
 // micro-batching over a pool of enclave worker replicas, each restored
-// from the encrypted PM mirror (the production shape of the paper's
-// §VI secure-classification experiment).
+// from an immutable published model snapshot in PM (the production
+// shape of the paper's §VI secure-classification experiment).
 type (
 	// Server is a running secure inference service.
 	Server = serve.Server
-	// ServerOptions parameterises a Server (workers, batching).
+	// ServerOptions parameterises a Server (workers, batching, queue).
 	ServerOptions = serve.Options
 	// Prediction is the answer to one classification request.
 	Prediction = serve.Prediction
@@ -143,15 +178,20 @@ type (
 var (
 	ErrServerClosed    = serve.ErrClosed
 	ErrBadImage        = serve.ErrBadImage
+	ErrOverloaded      = serve.ErrOverloaded
+	ErrNotServable     = serve.ErrNotServable
 	ErrNoServableModel = core.ErrNoServableModel
 )
 
-// Serve publishes f's current model to PM and starts an inference
-// server over it: opts.Workers attested enclave replicas each restore
-// the sealed model from the mirror and serve dynamic micro-batches.
-// Close the server before training f further.
-func Serve(f *Framework, opts ServerOptions) (*Server, error) {
-	return serve.New(f, opts)
+// Serve publishes f's current model to PM as an immutable versioned
+// snapshot and starts an inference server over it: opts.Workers
+// attested enclave replicas each restore the pinned version and serve
+// dynamic micro-batches. Training may continue concurrently; use
+// Server.Refresh to roll the pool to a newer published version and
+// Server.RotateKey to re-provision the data key, both without a
+// serving gap. ctx bounds construction only.
+func Serve(ctx context.Context, f *Framework, opts ServerOptions) (*Server, error) {
+	return serve.New(ctx, f, opts)
 }
 
 // Distributed training (the paper's §VIII future-work direction):

@@ -24,11 +24,11 @@ func TestPublicAPITrainAndRecover(t *testing.T) {
 	if err := f.LoadDataset(plinius.SyntheticDataset(100, 1)); err != nil {
 		t.Fatalf("LoadDataset: %v", err)
 	}
-	if err := f.Train(5, nil); err != nil {
+	if err := f.TrainIters(5, nil); err != nil {
 		t.Fatalf("Train: %v", err)
 	}
 	f.Crash()
-	if err := f.Train(6, nil); !errors.Is(err, plinius.ErrCrashedDown) {
+	if err := f.TrainIters(6, nil); !errors.Is(err, plinius.ErrCrashedDown) {
 		t.Fatalf("Train crashed = %v, want ErrCrashedDown", err)
 	}
 	if err := f.Recover(true); err != nil {
@@ -36,6 +36,80 @@ func TestPublicAPITrainAndRecover(t *testing.T) {
 	}
 	if f.Iteration() != 5 {
 		t.Fatalf("Iteration = %d, want 5", f.Iteration())
+	}
+}
+
+// TestPublicAPIContextTrainingLifecycle drives the v2 context-first
+// surface end to end: option-configured training, cancellation at a
+// mirror-consistent boundary, versioned serving with refresh and key
+// rotation, and the servability sentinel.
+func TestPublicAPIContextTrainingLifecycle(t *testing.T) {
+	f, err := plinius.New(plinius.Config{
+		ModelConfig: plinius.MNISTConfig(1, 4, 16),
+		PMBytes:     32 << 20,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := plinius.Serve(context.Background(), f, plinius.ServerOptions{}); !errors.Is(err, plinius.ErrNotServable) {
+		t.Fatalf("Serve on dataset-less framework = %v, want ErrNotServable", err)
+	}
+	ds := plinius.SyntheticDataset(128, 11)
+	if err := f.LoadDataset(ds); err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	var losses int
+	err = f.Train(context.Background(), plinius.StopAt(4),
+		plinius.WithProgress(func(int, float32) { losses++ }))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if losses != 4 {
+		t.Fatalf("progress hook saw %d iterations, want 4", losses)
+	}
+
+	srv, err := plinius.Serve(context.Background(), f, plinius.ServerOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	if srv.Version() == 0 {
+		t.Fatal("served model has no published version")
+	}
+
+	// Cancel an open-ended run; recovery lands on the cancelled iteration.
+	ctx, cancel := context.WithCancel(context.Background())
+	err = f.Train(ctx, plinius.WithProgress(func(iter int, _ float32) {
+		if iter >= 8 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Train = %v, want context.Canceled", err)
+	}
+	cancelled := f.Iteration()
+
+	// Publish the newer model and roll the pool forward.
+	if _, err := f.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	iter, err := srv.Refresh(context.Background())
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if iter != cancelled {
+		t.Fatalf("refreshed to iteration %d, want %d", iter, cancelled)
+	}
+	ver, err := srv.RotateKey(context.Background())
+	if err != nil {
+		t.Fatalf("RotateKey: %v", err)
+	}
+	if ver != srv.Version() {
+		t.Fatalf("RotateKey version %d, server reports %d", ver, srv.Version())
+	}
+	if _, err := srv.Classify(context.Background(), ds.Image(0)); err != nil {
+		t.Fatalf("Classify after rotation: %v", err)
 	}
 }
 
@@ -47,7 +121,7 @@ func TestPublicAPIMissingDataset(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if err := f.Train(1, nil); !errors.Is(err, plinius.ErrNoDataset) {
+	if err := f.TrainIters(1, nil); !errors.Is(err, plinius.ErrNoDataset) {
 		t.Fatalf("Train = %v, want ErrNoDataset", err)
 	}
 }
@@ -128,10 +202,10 @@ func TestPublicAPIServe(t *testing.T) {
 	if err := f.LoadDataset(ds); err != nil {
 		t.Fatalf("LoadDataset: %v", err)
 	}
-	if err := f.Train(4, nil); err != nil {
+	if err := f.TrainIters(4, nil); err != nil {
 		t.Fatalf("Train: %v", err)
 	}
-	srv, err := plinius.Serve(f, plinius.ServerOptions{Workers: 2, MaxBatch: 8})
+	srv, err := plinius.Serve(context.Background(), f, plinius.ServerOptions{Workers: 2, MaxBatch: 8})
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
