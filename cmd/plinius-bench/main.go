@@ -8,7 +8,7 @@
 //	plinius-bench -exp fig7 -quick    # scaled-down fast run
 //
 // Experiments: fig2, fig6, fig7, table1a, table1b, fig8, fig9, fig10,
-// inference, tcb, freq, all.
+// inference, tcb, freq, coloc, all.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|all)")
 	quick := flag.Bool("quick", false, "scaled-down parameters for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	root := flag.String("root", ".", "repository root (for -exp tcb)")
@@ -46,9 +46,10 @@ func run(exp string, quick bool, seed int64, root string) error {
 		"inference": runInference,
 		"tcb":       runTCB,
 		"freq":      runFreq,
+		"coloc":     runColoc,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq"}
+		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc"}
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](quick, seed, root); err != nil {
@@ -213,6 +214,21 @@ func runInference(quick bool, seed int64, _ string) error {
 
 func runTCB(_ bool, _ int64, root string) error {
 	res, err := experiments.RunTCB(root)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runColoc(quick bool, seed int64, _ string) error {
+	// 56 MB of parameters + 15 MB overhead per tenant: one fits the
+	// 93.5 MB usable EPC, two overcommit it — the shared knee.
+	sizeMB, tenants, reps := 56, 3, 3
+	if quick {
+		sizeMB, tenants, reps = 40, 2, 1
+	}
+	res, err := experiments.RunColoc(core.SGXEmlPM(), sizeMB, tenants, reps, seed)
 	if err != nil {
 		return err
 	}

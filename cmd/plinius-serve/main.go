@@ -47,7 +47,8 @@ func main() {
 		batch      = flag.Int("batch", 64, "training batch size")
 		dataset    = flag.Int("dataset", 2000, "synthetic training samples")
 		seed       = flag.Int64("seed", 42, "random seed")
-		workers    = flag.Int("workers", 4, "enclave inference replicas")
+		workers    = flag.Int("workers", 4, "enclave inference replicas; 0 auto-sizes from the host's remaining EPC headroom")
+		maxEPC     = flag.Float64("max-epc-pressure", 0, "shed requests while the host EPC is overcommitted past this fraction (0 disables)")
 		maxBatch   = flag.Int("max-batch", 32, "micro-batch size cap")
 		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
 		queueDepth = flag.Int("queue-depth", 1024, "request queue bound; beyond it requests are rejected (ErrOverloaded)")
@@ -59,8 +60,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *workers == 0 {
+		*workers = plinius.WorkersAuto
+	}
 	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *seed,
-		*workers, *maxBatch, *maxLatency, *queueDepth, *addr, *requests, *clients)
+		*workers, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *requests, *clients)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Interrupted before or during serving: the shutdown was
@@ -74,7 +78,7 @@ func main() {
 }
 
 func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed int64,
-	workers, maxBatch int, maxLatency time.Duration, queueDepth int, addr string, requests, clients int) error {
+	workers, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, requests, clients int) error {
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
 		Seed:        seed,
@@ -97,12 +101,13 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 		MaxQueueLatency: maxLatency,
 		QueueDepth:      queueDepth,
 		Seed:            seed,
+		MaxEPCPressure:  maxEPC,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (max batch %d, max queue latency %v, queue depth %d)\n",
-		srv.Version(), srv.Iteration(), srv.Workers(), maxBatch, maxLatency, queueDepth)
+	fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (max batch %d, max queue latency %v, queue depth %d, EPC pressure %.2f)\n",
+		srv.Version(), srv.Iteration(), srv.Workers(), maxBatch, maxLatency, queueDepth, srv.EPCPressure())
 
 	if addr != "" {
 		err = serveHTTP(ctx, srv, addr)
@@ -177,16 +182,19 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := srv.Stats()
 		json.NewEncoder(w).Encode(map[string]any{
-			"requests":       st.Requests,
-			"rejected":       st.Rejected,
-			"expired":        st.Expired,
-			"batches":        st.Batches,
-			"avg_batch":      st.AvgBatch,
-			"avg_latency_us": st.AvgLatency.Microseconds(),
-			"max_latency_us": st.MaxLatency.Microseconds(),
-			"req_per_sec":    st.Throughput,
-			"uptime_sec":     st.Uptime.Seconds(),
-			"model_version":  srv.Version(),
+			"requests":            st.Requests,
+			"rejected":            st.Rejected,
+			"expired":             st.Expired,
+			"epc_shed":            st.EPCShed,
+			"epc_pressure":        st.EPCPressure,
+			"host_resident_bytes": st.HostResidentBytes,
+			"batches":             st.Batches,
+			"avg_batch":           st.AvgBatch,
+			"avg_latency_us":      st.AvgLatency.Microseconds(),
+			"max_latency_us":      st.MaxLatency.Microseconds(),
+			"req_per_sec":         st.Throughput,
+			"uptime_sec":          st.Uptime.Seconds(),
+			"model_version":       srv.Version(),
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -73,6 +73,16 @@ type Config struct {
 	// paper's default of every iteration; negative disables mirroring
 	// entirely (the non-crash-resilient baseline of Fig. 9b/10c).
 	MirrorFreq int
+	// Host places the framework's enclaves on an existing EPC host, so
+	// co-located frameworks share one usable-EPC budget the way real
+	// SGX enclaves on one machine do: each charges its working set to
+	// the same 93.5 MB, and the paging knee is reached by the host's
+	// aggregate footprint, not any single enclave's. Serving replicas
+	// always join their framework's host. Nil creates a private host
+	// from Server.Enclave (the paper's one-enclave-per-machine setup).
+	// When set, the host's cost profile takes precedence over
+	// Server.Enclave for enclave costs.
+	Host *enclave.Host
 	// Seed drives all randomness (weights, batches, enclave RNG).
 	Seed int64
 	// DataKey is the 128-bit data encryption key. Empty means run the
@@ -119,6 +129,7 @@ var (
 type Framework struct {
 	cfg Config
 
+	Host    *enclave.Host
 	Enclave *enclave.Enclave
 	PM      *pm.Device
 	SSD     *storage.Device
@@ -136,6 +147,11 @@ type Framework struct {
 	reserved int
 	crashed  bool
 	pub      *mirror.Publication
+
+	// testAbortResealAfter > 0 makes the next RotateKey abort its data
+	// reseal after that many chunks — a deterministic stand-in for a
+	// crash mid-rotation (test hook; see rotation.go).
+	testAbortResealAfter int
 }
 
 // New builds a Framework: it creates the enclave, provisions the data
@@ -161,7 +177,11 @@ func New(cfg Config) (*Framework, error) {
 	}
 
 	f := &Framework{cfg: cfg}
-	f.Enclave = enclave.New(cfg.Server.Enclave, enclave.WithSeed(cfg.Seed))
+	f.Host = cfg.Host
+	if f.Host == nil {
+		f.Host = enclave.NewHost(cfg.Server.Enclave)
+	}
+	f.Enclave = f.Host.NewEnclave(enclave.WithSeed(cfg.Seed))
 	f.SSD = storage.NewDevice(cfg.Server.SSD)
 	dev, err := pm.New(cfg.PMBytes, pm.WithProfile(cfg.Server.PM))
 	if err != nil {
@@ -412,6 +432,14 @@ func (f *Framework) Recover(restoreNow bool) error {
 		}
 		f.Data = dm
 	}
+	// A crash mid-key-rotation left PM with mixed key epochs; the
+	// rotation marker records exactly how far it got, and recovery
+	// finishes the reseal before anything tries to decrypt. Must run
+	// before any mirror restore, which would otherwise hit rows of the
+	// wrong epoch.
+	if err := f.maybeFinishRotation(); err != nil {
+		return err
+	}
 	// Restore whenever PM actually holds a mirror — it may exist even
 	// with config-level mirroring off (a run used the MirrorEvery
 	// override).
@@ -508,6 +536,19 @@ func classifyBatch(encl *enclave.Enclave, net *darknet.Network, images []float32
 		return nil, fmt.Errorf("core: inference: %w", err)
 	}
 	return classes, nil
+}
+
+// ReplicaFootprint returns the EPC working set one serving replica of
+// this framework's model will claim on the host: the model parameters
+// plus the per-enclave overhead (activation/encryption buffers, code).
+// Serving uses it to size replica pools against Host.Headroom.
+func (f *Framework) ReplicaFootprint() int {
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	if f.Net == nil {
+		return 0
+	}
+	return f.Net.ParamBytes() + f.cfg.TrainOverheadBytes
 }
 
 // Iteration returns the model's completed iteration count.

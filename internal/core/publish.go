@@ -206,8 +206,16 @@ func (f *Framework) RotateKey() (uint64, error) {
 		if err != nil {
 			return fmt.Errorf("new engine: %w", err)
 		}
+		// Persist the rotation marker before the first row flips: a
+		// crash anywhere in the reseal is then detected by Recover,
+		// which unwraps the new key from the marker and finishes the
+		// job from the recorded row cursor (rotation.go).
+		rot, err := mirror.BeginRotation(f.Rom, f.Engine, newKey)
+		if err != nil {
+			return fmt.Errorf("begin rotation: %w", err)
+		}
 		if f.Data != nil {
-			if err := f.Data.Reseal(eng); err != nil {
+			if err := f.Data.ResealFrom(eng, 0, f.resealMark(rot)); err != nil {
 				return fmt.Errorf("reseal data matrix: %w", err)
 			}
 		}
@@ -225,6 +233,9 @@ func (f *Framework) RotateKey() (uint64, error) {
 		ver, err = f.pub.PublishOut(eng, f.Net)
 		if err != nil {
 			return fmt.Errorf("publish under new key: %w", err)
+		}
+		if err := rot.Finish(); err != nil {
+			return fmt.Errorf("finish rotation: %w", err)
 		}
 		return nil
 	})

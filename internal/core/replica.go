@@ -108,15 +108,21 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 			return nil, err
 		}
 	}
+	// The replica enclave joins the framework's host: on real SGX all
+	// co-located enclaves share one EPC, so every replica's working set
+	// counts against the same 93.5 MB and a pool sized past the budget
+	// pays the shared paging knee.
 	r := &Replica{f: f}
-	r.Enclave = enclave.New(f.cfg.Server.Enclave, enclave.WithSeed(seed))
+	r.Enclave = f.Host.NewEnclave(enclave.WithSeed(seed))
 
 	key, err := f.provisionReplicaKey(r.Enclave)
 	if err != nil {
+		_ = r.Enclave.Close()
 		return nil, err
 	}
 	r.eng, err = engine.New(key, engine.WithEnclave(r.Enclave))
 	if err != nil {
+		_ = r.Enclave.Close()
 		return nil, fmt.Errorf("core: replica engine: %w", err)
 	}
 
@@ -125,6 +131,7 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 	net, err := darknet.ParseConfig(strings.NewReader(f.cfg.ModelConfig),
 		mrand.New(mrand.NewSource(seed)))
 	if err != nil {
+		_ = r.Enclave.Close()
 		return nil, fmt.Errorf("core: replica model config: %w", err)
 	}
 	err = r.Enclave.Ecall(func() error {
@@ -133,6 +140,7 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 		return r.Enclave.Reserve(r.reserved)
 	})
 	if err != nil {
+		_ = r.Enclave.Close()
 		return nil, fmt.Errorf("core: replica reserve: %w", err)
 	}
 	if _, err := r.Refresh(); err != nil {
@@ -215,17 +223,13 @@ func (r *Replica) Version() uint64 { return r.version }
 // InputSize returns the flattened per-image input size.
 func (r *Replica) InputSize() int { return r.net.InputSize() }
 
-// Close tears down the replica enclave, releasing its EPC footprint.
+// Close tears down the replica enclave, returning its entire EPC
+// footprint to the host's shared budget.
 func (r *Replica) Close() error {
 	if r.closed {
 		return ErrReplicaClosed
 	}
 	r.closed = true
-	if r.reserved > 0 {
-		if err := r.Enclave.Free(r.reserved); err != nil {
-			return err
-		}
-		r.reserved = 0
-	}
-	return nil
+	r.reserved = 0
+	return r.Enclave.Close()
 }

@@ -7,8 +7,20 @@
 // encryption engine — and (b) a cost model with the three SGX effects the
 // paper measures: ecall/ocall transition latency (~13,100 cycles), the
 // enclave page cache (EPC) capacity of 128 MB with 93.5 MB usable, and
-// kernel page-swapping overhead once the enclave's working set exceeds
-// that limit (the knee in Fig. 7 and Table I).
+// kernel page-swapping overhead once the working set exceeds that limit
+// (the knee in Fig. 7 and Table I).
+//
+// The cost model is layered Host → Enclave → Engine. A Host (host.go)
+// is the unit of EPC ownership: real SGX reserves one EPC per machine,
+// shared by every resident enclave, so the paging knee is a property of
+// the host's aggregate working set, not of any single enclave. Enclaves
+// created on one host (Host.NewEnclave) charge their Alloc/Reserve
+// footprint to the shared budget and fault on Touch whenever the host —
+// not merely the enclave — is over the knee. The encryption engine
+// (package engine) binds to one enclave and charges these costs on every
+// seal/open of data crossing the boundary. New keeps the single-enclave
+// constructor as a shim that places the enclave on a private host,
+// reproducing the paper's one-enclave-per-machine cost model exactly.
 //
 // The package also provides SGX-style sealing and a remote-attestation
 // handshake (attest.go) used to provision the data-encryption key, as in
@@ -96,6 +108,7 @@ var (
 	ErrHeapExhausted = errors.New("enclave: heap limit exceeded")
 	ErrBadAlloc      = errors.New("enclave: allocation size must be positive")
 	ErrFreeTooMuch   = errors.New("enclave: free exceeds allocated footprint")
+	ErrClosed        = errors.New("enclave: enclave is closed")
 )
 
 // Stats counts enclave activity.
@@ -103,16 +116,23 @@ type Stats struct {
 	Ecalls    uint64
 	Ocalls    uint64
 	PageSwaps uint64
-	PeakBytes int
+	// ContentionSwaps counts the subset of PageSwaps paid while this
+	// enclave's own footprint was within the host's usable EPC — faults
+	// caused purely by co-located enclaves pushing the host's aggregate
+	// working set over the knee. Zero on a single-enclave host.
+	ContentionSwaps uint64
+	PeakBytes       int
 }
 
-// Enclave is a simulated SGX enclave instance.
+// Enclave is a simulated SGX enclave instance, resident on one Host.
 type Enclave struct {
 	mu        sync.Mutex
+	host      *Host
 	prof      Profile
 	clock     *simclock.Clock
 	heapLimit int
 	allocated int
+	closed    bool
 	rng       *rand.Rand
 	sealKey   [16]byte
 	stats     Stats
@@ -137,10 +157,22 @@ func WithSeed(seed int64) Option {
 	return func(e *Enclave) { e.rng = rand.New(rand.NewSource(seed)) }
 }
 
-// New creates an enclave on a machine with the given profile.
+// New creates an enclave on a private, freshly created host with the
+// given profile — the paper's one-enclave-per-machine setup.
+//
+// New is kept as a compatibility shim for single-enclave callers;
+// code that co-locates enclaves (serving replicas, multi-tenant hosts)
+// creates one Host and calls Host.NewEnclave so all residents share
+// the machine's EPC budget.
 func New(prof Profile, opts ...Option) *Enclave {
+	return NewHost(prof).NewEnclave(opts...)
+}
+
+// newEnclave builds an enclave resident on host (which registers it).
+func newEnclave(host *Host, opts ...Option) *Enclave {
 	e := &Enclave{
-		prof:      prof,
+		host:      host,
+		prof:      host.prof,
 		heapLimit: DefaultHeap,
 	}
 	for _, opt := range opts {
@@ -160,6 +192,9 @@ func New(prof Profile, opts ...Option) *Enclave {
 
 // Profile returns the machine profile.
 func (e *Enclave) Profile() Profile { return e.prof }
+
+// Host returns the host machine whose EPC this enclave shares.
+func (e *Enclave) Host() *Host { return e.host }
 
 // Clock returns the clock charged by this enclave.
 func (e *Enclave) Clock() *simclock.Clock { return e.clock }
@@ -185,19 +220,11 @@ func (e *Enclave) Ocall(fn func() error) error {
 }
 
 // Alloc registers n bytes of enclave heap and returns a zeroed buffer
-// representing EPC-backed memory. The buffer must be released with Free.
+// representing EPC-backed memory. The bytes join the host's shared
+// working set. The buffer must be released with Free.
 func (e *Enclave) Alloc(n int) ([]byte, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: %d", ErrBadAlloc, n)
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.allocated+n > e.heapLimit {
-		return nil, fmt.Errorf("%w: %d + %d > %d", ErrHeapExhausted, e.allocated, n, e.heapLimit)
-	}
-	e.allocated += n
-	if e.allocated > e.stats.PeakBytes {
-		e.stats.PeakBytes = e.allocated
+	if err := e.claim(n); err != nil {
+		return nil, err
 	}
 	return make([]byte, n), nil
 }
@@ -206,29 +233,65 @@ func (e *Enclave) Alloc(n int) ([]byte, error) {
 // for callers whose data lives in typed slices (e.g. model weights) but
 // must still count toward the EPC working set. Release it with Free.
 func (e *Enclave) Reserve(n int) error {
+	return e.claim(n)
+}
+
+// claim accounts n bytes to the enclave footprint and the host working
+// set.
+func (e *Enclave) claim(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("%w: %d", ErrBadAlloc, n)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
 	if e.allocated+n > e.heapLimit {
-		return fmt.Errorf("%w: %d + %d > %d", ErrHeapExhausted, e.allocated, n, e.heapLimit)
+		err := fmt.Errorf("%w: %d + %d > %d", ErrHeapExhausted, e.allocated, n, e.heapLimit)
+		e.mu.Unlock()
+		return err
 	}
 	e.allocated += n
 	if e.allocated > e.stats.PeakBytes {
 		e.stats.PeakBytes = e.allocated
 	}
+	e.mu.Unlock()
+	e.host.grow(n)
 	return nil
 }
 
-// Free releases n bytes of enclave heap previously obtained with Alloc.
+// Free releases n bytes of enclave heap previously obtained with Alloc,
+// returning them to the host's shared budget.
 func (e *Enclave) Free(n int) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if n < 0 || n > e.allocated {
-		return fmt.Errorf("%w: free %d of %d", ErrFreeTooMuch, n, e.allocated)
+		err := fmt.Errorf("%w: free %d of %d", ErrFreeTooMuch, n, e.allocated)
+		e.mu.Unlock()
+		return err
 	}
 	e.allocated -= n
+	e.mu.Unlock()
+	e.host.shrink(n)
+	return nil
+}
+
+// Close destroys the enclave (EREMOVE of all its pages): its entire
+// remaining footprint returns to the host's shared EPC budget and the
+// enclave stops accepting allocations. Close is how a serving replica
+// gives its pages back so the host's paging model stops charging the
+// survivors for its working set.
+func (e *Enclave) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	footprint := e.allocated
+	e.allocated = 0
+	e.mu.Unlock()
+	e.host.dropEnclave(footprint)
 	return nil
 }
 
@@ -239,32 +302,44 @@ func (e *Enclave) Footprint() int {
 	return e.allocated
 }
 
-// OverEPC reports whether the working set exceeds the usable EPC.
-func (e *Enclave) OverEPC() bool { return e.Footprint() > UsableEPC }
+// OverEPC reports whether this enclave's private working set alone
+// exceeds the host's usable-EPC budget. The paging knee itself is
+// host-global — see Host.OverEPC — so an enclave can page with OverEPC
+// false when co-located enclaves overcommit the host.
+func (e *Enclave) OverEPC() bool { return e.Footprint() > e.host.UsableEPC() }
 
 // Touch charges the EPC paging cost of accessing n bytes of enclave
-// memory. Below the usable EPC limit this is free. Beyond it, every
-// touched page is charged a fault: the Plinius working set (model
-// parameters plus en/decryption buffers) is streamed cyclically each
-// iteration, and a cyclic stream larger than an (approximately LRU)
-// cache misses on essentially every access — each page is evicted
-// before it comes around again. This sharp knee is the mechanism
-// behind the paper's Fig. 7 latency cliff and Table Ia shift
-// (encryption 66% -> 92% of save latency past the EPC limit).
+// memory. While the host's aggregate working set fits the usable EPC
+// this is free. Beyond it, every touched page is charged a fault: the
+// usable EPC splits pro-rata by footprint across resident enclaves
+// (each holds usable*f/W pages for footprint f and host working set
+// W), so every enclave's share is strictly smaller than its working
+// set, and the Plinius access pattern — model parameters plus
+// en/decryption buffers streamed cyclically each iteration — misses on
+// essentially every access: each page is evicted before it comes
+// around again. On a single-enclave host this is exactly the sharp
+// knee behind the paper's Fig. 7 latency cliff and Table Ia shift
+// (encryption 66% -> 92% of save latency past the EPC limit); on a
+// shared host the same knee arrives earlier, once the residents
+// jointly overcommit the budget, even though each is under it alone.
 func (e *Enclave) Touch(n int) {
 	if n <= 0 || !e.prof.HardwareSGX {
+		return
+	}
+	if !e.host.OverEPC() {
 		return
 	}
 	e.mu.Lock()
 	footprint := e.allocated
 	e.mu.Unlock()
-	if footprint <= UsableEPC {
-		return
-	}
 	faults := uint64((n + PageSize - 1) / PageSize)
 	e.mu.Lock()
 	e.stats.PageSwaps += faults
+	if footprint <= e.host.UsableEPC() {
+		e.stats.ContentionSwaps += faults
+	}
 	e.mu.Unlock()
+	e.host.countSwaps(faults)
 	e.clock.Advance(time.Duration(faults) * e.prof.PageSwapCost)
 }
 

@@ -66,7 +66,9 @@ func WithRand(r io.Reader) Option {
 // WithEnclave binds the engine to an enclave: IVs come from the enclave
 // RNG and every seal/open charges the EPC paging cost of touching its
 // buffers (the dominant save-latency term beyond the EPC limit,
-// Table Ia).
+// Table Ia). The charge is host-aware: the enclave pages whenever its
+// host's aggregate working set — all co-located enclaves together — is
+// over the usable EPC, not only when this enclave alone is.
 func WithEnclave(encl *enclave.Enclave) Option {
 	return func(e *Engine) { e.encl = encl }
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"plinius/internal/core"
+)
+
+// TestColocSharedKnee is the acceptance check for shared-EPC
+// accounting: two enclaves each below the usable EPC but jointly above
+// it pay paging, while either alone is paging-free — and the
+// single-tenant row keeps the original Fig. 7 behavior.
+func TestColocSharedKnee(t *testing.T) {
+	// 40 MB of parameters + 15 MB default overhead = ~55 MB per
+	// tenant: one fits (55 < 93.5), two do not (110 > 93.5).
+	res, err := RunColoc(core.SGXEmlPM(), 40, 2, 1, 7)
+	if err != nil {
+		t.Fatalf("RunColoc: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	solo, shared := res.Rows[0], res.Rows[1]
+
+	if !solo.EachUnderEPC || solo.HostOverEPC {
+		t.Fatalf("solo tenant should fit: %+v", solo)
+	}
+	if solo.SavePageSwaps != 0 {
+		t.Fatalf("solo tenant paid %d swaps/save, want 0", solo.SavePageSwaps)
+	}
+
+	if !shared.EachUnderEPC {
+		t.Fatalf("tenants must each be under the EPC: %+v", shared)
+	}
+	if !shared.HostOverEPC {
+		t.Fatalf("two tenants must jointly overcommit the host: %+v", shared)
+	}
+	if shared.SavePageSwaps == 0 {
+		t.Fatal("no paging at the shared knee")
+	}
+	if shared.ContentionSwaps != shared.SavePageSwaps {
+		t.Fatalf("ContentionSwaps = %d, want all %d faults attributed to co-location",
+			shared.ContentionSwaps, shared.SavePageSwaps)
+	}
+	if shared.MirrorSave.Encrypt <= solo.MirrorSave.Encrypt {
+		t.Fatalf("shared-knee encrypt %v not above solo %v",
+			shared.MirrorSave.Encrypt, solo.MirrorSave.Encrypt)
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "shared knee") {
+		t.Fatalf("Print missing shared-knee regime:\n%s", buf.String())
+	}
+}
+
+// TestColocSimulationModeFree: in SGX simulation mode co-location
+// costs nothing, like every other SGX effect.
+func TestColocSimulationModeFree(t *testing.T) {
+	res, err := RunColoc(core.EmlSGXPM(), 40, 2, 1, 7)
+	if err != nil {
+		t.Fatalf("RunColoc: %v", err)
+	}
+	for _, row := range res.Rows {
+		if row.SavePageSwaps != 0 {
+			t.Fatalf("simulation mode charged %d swaps at %d tenants", row.SavePageSwaps, row.Tenants)
+		}
+	}
+}

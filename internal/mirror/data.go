@@ -239,23 +239,38 @@ func (d *DataMatrix) Row(i int) (img, label []float32, err error) {
 // Reseal re-encrypts every row under newEng's data key and switches the
 // matrix to it — the data half of key rotation. Rows are rewritten in
 // chunked durable transactions (like LoadData), so each chunk flips
-// atomically; a crash mid-rotation can however leave earlier chunks
-// under the new key and later ones under the old, in which case the
-// rotation must be re-run from the surviving key material. Plaintext
-// matrices (the Fig. 8 baseline) have nothing to re-seal.
+// atomically. Callers that must survive a crash mid-rotation persist a
+// rotation marker first and use ResealFrom with the marker's Advance,
+// so the torn boundary is always recorded (see BeginRotation).
+// Plaintext matrices (the Fig. 8 baseline) have nothing to re-seal.
 func (d *DataMatrix) Reseal(newEng *engine.Engine) error {
+	return d.ResealFrom(newEng, 0, nil)
+}
+
+// ResealFrom re-encrypts rows [start, N) under newEng's key, calling
+// mark (when non-nil) with the next unresealed row index inside each
+// chunk's transaction — chunk and cursor commit atomically, which is
+// what makes a crash at any point recoverable: rows below the recorded
+// cursor are under the new key, rows at or above it under the old.
+// Rows below start are assumed already resealed (the crash-recovery
+// resume path). On success the matrix switches to newEng.
+func (d *DataMatrix) ResealFrom(newEng *engine.Engine, start int, mark func(next int) error) error {
 	if !d.encrypted {
 		d.eng = newEng
 		return nil
 	}
+	if start < 0 || start > d.n {
+		return fmt.Errorf("%w: reseal start %d of %d", ErrDataCorrupt, start, d.n)
+	}
 	stored := make([]byte, d.storedRow)
-	for start := 0; start < d.n; start += loadChunkRows {
+	for ; start < d.n; start += loadChunkRows {
 		end := start + loadChunkRows
 		if end > d.n {
 			end = d.n
 		}
+		chunkStart := start
 		err := d.rom.Update(func() error {
-			for i := start; i < end; i++ {
+			for i := chunkStart; i < end; i++ {
 				if err := d.rom.Load(d.dataOff+i*d.storedRow, stored); err != nil {
 					return err
 				}
@@ -271,10 +286,13 @@ func (d *DataMatrix) Reseal(newEng *engine.Engine) error {
 					return err
 				}
 			}
+			if mark != nil {
+				return mark(end)
+			}
 			return nil
 		})
 		if err != nil {
-			return fmt.Errorf("data reseal rows %d-%d: %w", start, end, err)
+			return fmt.Errorf("data reseal rows %d-%d: %w", chunkStart, end, err)
 		}
 	}
 	d.eng = newEng

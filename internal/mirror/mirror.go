@@ -28,6 +28,7 @@ const (
 	RootModel     = 0
 	RootData      = 1
 	RootPublished = 2
+	RootRotation  = 3
 )
 
 // Persistent layout offsets (all values little-endian uint64):
@@ -125,7 +126,52 @@ func AllocModel(rom *romulus.Romulus, eng *engine.Engine, net *darknet.Network, 
 // from (the RootModel slot for the training mirror, a publication slot
 // for published snapshots).
 func allocModelRegion(rom *romulus.Romulus, paramLayers [][][]float32) (int, []layerNode, error) {
-	hdr, err := rom.Alloc(modelHdrSize)
+	return allocModelRegionWith(rom, rom.Alloc, paramLayers)
+}
+
+// regionAlign applies the Romulus bump allocator's alignment, so
+// modelRegionSize predicts exactly what a fresh allocModelRegion
+// consumes and an in-region bump allocator lays out identically.
+func regionAlign(n int) int {
+	return (n + romulus.AllocAlign - 1) / romulus.AllocAlign * romulus.AllocAlign
+}
+
+// modelRegionSize returns the exact heap consumption of a model region
+// for the given parameter shape — the sum of its aligned allocations.
+func modelRegionSize(paramLayers [][][]float32) int {
+	total := regionAlign(modelHdrSize)
+	for _, params := range paramLayers {
+		total += regionAlign(nodeBufTable + nodeBufEntry*len(params))
+		for _, p := range params {
+			total += regionAlign(engine.SealedLen(4 * len(p)))
+		}
+	}
+	return total
+}
+
+// regionAllocator bump-allocates inside an existing PM region [base,
+// base+size) — the publication slot GC path, which re-lays out a
+// recycled region for a new shape instead of leaking it. Allocation
+// order and alignment match the Romulus heap allocator, so any shape
+// whose modelRegionSize fits the region lays out in place.
+func regionAllocator(base, size int) func(int) (int, error) {
+	bump := base
+	return func(n int) (int, error) {
+		aligned := regionAlign(n)
+		if bump+aligned > base+size {
+			return 0, fmt.Errorf("mirror: region reuse overflow: %d + %d > %d", bump-base, aligned, size)
+		}
+		off := bump
+		bump += aligned
+		return off, nil
+	}
+}
+
+// allocModelRegionWith is allocModelRegion over an arbitrary allocator:
+// the Romulus heap for fresh regions, an in-region bump allocator for
+// recycled ones.
+func allocModelRegionWith(rom *romulus.Romulus, alloc func(int) (int, error), paramLayers [][][]float32) (int, []layerNode, error) {
+	hdr, err := alloc(modelHdrSize)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -134,14 +180,14 @@ func allocModelRegion(rom *romulus.Romulus, paramLayers [][][]float32) (int, []l
 	var firstNodeOff int
 	for _, params := range paramLayers {
 		nodeSize := nodeBufTable + nodeBufEntry*len(params)
-		nodeOff, err := rom.Alloc(nodeSize)
+		nodeOff, err := alloc(nodeSize)
 		if err != nil {
 			return 0, nil, err
 		}
 		node := layerNode{off: nodeOff}
 		for bi, p := range params {
 			sealedLen := engine.SealedLen(4 * len(p))
-			bufOff, err := rom.Alloc(sealedLen)
+			bufOff, err := alloc(sealedLen)
 			if err != nil {
 				return 0, nil, err
 			}

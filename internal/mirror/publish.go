@@ -15,9 +15,15 @@
 //
 // Persistent layout (root slot RootPublished, little-endian uint64):
 //
-//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff}
+//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff, regionSize}
 //
-// Slot model regions reuse the mirror's layer-list layout. Pin counts
+// Slot model regions reuse the mirror's layer-list layout. The
+// recorded regionSize makes slot recycling shape-proof: Romulus has no
+// free, so v2 leaked a slot's old region whenever the model shape
+// changed; with the size known, a recycled slot whose new payload fits
+// is re-laid out in place (regionAllocator) and only a genuinely
+// outgrown region is abandoned to the bump allocator — counted in
+// LeakedBytes, with in-place reuse counted in ReusedBytes. Pin counts
 // are volatile (a restart drops all pins, as the readers died with the
 // process). The Publication handle itself serializes its in-memory
 // bookkeeping; callers must still serialize the PM device access of
@@ -40,7 +46,7 @@ const (
 	pubHdrLatest   = 0
 	pubHdrNumSlots = 8
 	pubHdrSlots    = 16
-	pubSlotEntry   = 16 // version(8) + modelOff(8)
+	pubSlotEntry   = 24 // version(8) + modelOff(8) + regionSize(8)
 
 	// maxPubSlots bounds the publication table. Slots are recycled as
 	// soon as they are neither latest nor pinned, so the table only
@@ -63,11 +69,12 @@ var (
 
 // pubSlot is one entry of the publication table.
 type pubSlot struct {
-	idx      int
-	version  uint64 // 0 = unpublished / retired
-	modelOff int
-	layers   []layerNode // cached layout of the slot's model region
-	pins     int
+	idx        int
+	version    uint64 // 0 = unpublished / retired
+	modelOff   int
+	regionSize int         // heap bytes of the slot's model region
+	layers     []layerNode // cached layout of the slot's model region
+	pins       int
 }
 
 // Publication is a handle to the versioned publication table in PM.
@@ -78,6 +85,27 @@ type Publication struct {
 	mu     sync.Mutex // guards latest, slots' version/pins bookkeeping
 	latest uint64
 	slots  []*pubSlot
+
+	// Slot GC accounting (volatile): bytes of recycled regions
+	// re-laid out in place vs abandoned in the bump allocator.
+	reused int
+	leaked int
+}
+
+// ReusedBytes returns the total bytes of recycled slot regions rewritten
+// in place across shape changes — space the bump allocator never sees.
+func (p *Publication) ReusedBytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reused
+}
+
+// LeakedBytes returns the total bytes abandoned in the bump allocator:
+// recycled regions too small for the new shape (Romulus has no free).
+func (p *Publication) LeakedBytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leaked
 }
 
 // PublicationExists reports whether a publication table is rooted.
@@ -132,7 +160,11 @@ func OpenPublication(rom *romulus.Romulus) (*Publication, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := &pubSlot{idx: i, version: version, modelOff: int(modelOff)}
+		regionSize, err := rom.LoadUint64(entry + 16)
+		if err != nil {
+			return nil, err
+		}
+		s := &pubSlot{idx: i, version: version, modelOff: int(modelOff), regionSize: int(regionSize)}
 		if s.modelOff != 0 {
 			m, err := openModelAt(rom, nil, s.modelOff)
 			if err != nil {
@@ -158,10 +190,15 @@ func (p *Publication) slotEntryOff(i int) int {
 }
 
 // pickSlot chooses (or allocates) a slot that can be overwritten:
-// unpinned and not the latest published version. Called with p.mu held.
+// unpinned and not the latest published version. Preference order:
+// a recyclable slot whose region already matches the shape (buffers
+// rewritten directly), then one whose region the new payload fits
+// (re-laid out in place by PublishOut — no heap growth), then a fresh
+// table slot, and only last a recyclable slot whose region must be
+// abandoned. Called with p.mu held.
 func (p *Publication) pickSlot(paramLayers [][][]float32) (*pubSlot, error) {
-	// Prefer a recyclable slot whose region already fits the shape.
-	var fallback *pubSlot
+	need := modelRegionSize(paramLayers)
+	var fallback, fitting *pubSlot
 	for _, s := range p.slots {
 		if s.pins > 0 || (s.version == p.latest && p.latest != 0) {
 			continue
@@ -169,7 +206,13 @@ func (p *Publication) pickSlot(paramLayers [][][]float32) (*pubSlot, error) {
 		if s.modelOff != 0 && layersMatch(s.layers, paramLayers) == nil {
 			return s, nil
 		}
+		if fitting == nil && s.modelOff != 0 && need <= s.regionSize {
+			fitting = s
+		}
 		fallback = s
+	}
+	if fitting != nil {
+		return fitting, nil
 	}
 	if len(p.slots) < maxPubSlots {
 		idx := len(p.slots)
@@ -224,20 +267,52 @@ func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network) (uint
 		}
 		slot.version = 0
 	}
-	// (Re)allocate the slot's model region if the shape changed. The
-	// old region leaks in the bump allocator; shapes are fixed per
-	// framework, so this happens at most once per slot in practice.
+	// (Re)lay out the slot's model region if the shape changed. A
+	// recycled region big enough for the new payload is rewritten in
+	// place (Romulus has no free, so this is the only reclamation);
+	// only when the shape outgrew the region is a fresh one allocated
+	// and the old region abandoned in the bump allocator.
 	if slot.modelOff == 0 || layersMatch(slot.layers, paramLayers) != nil {
-		err := p.rom.Update(func() error {
-			hdr, layers, err := allocModelRegion(p.rom, paramLayers)
+		need := modelRegionSize(paramLayers)
+		if slot.modelOff != 0 && need <= slot.regionSize {
+			// Same-or-smaller shape: reuse the retired slot's region.
+			err := p.rom.Update(func() error {
+				hdr, layers, err := allocModelRegionWith(p.rom,
+					regionAllocator(slot.modelOff, slot.regionSize), paramLayers)
+				if err != nil {
+					return err
+				}
+				slot.layers = layers
+				// The header is the region's first allocation, so
+				// modelOff and regionSize are unchanged.
+				if hdr != slot.modelOff {
+					return fmt.Errorf("%w: reused region header moved %d -> %d",
+						ErrPubCorrupt, slot.modelOff, hdr)
+				}
+				return nil
+			})
 			if err != nil {
-				return err
+				return 0, err
 			}
-			slot.modelOff, slot.layers = hdr, layers
-			return p.rom.StoreUint64(p.slotEntryOff(slot.idx)+8, uint64(hdr))
-		})
-		if err != nil {
-			return 0, err
+			p.reused += need
+		} else {
+			abandoned := slot.regionSize
+			err := p.rom.Update(func() error {
+				hdr, layers, err := allocModelRegion(p.rom, paramLayers)
+				if err != nil {
+					return err
+				}
+				slot.modelOff, slot.layers, slot.regionSize = hdr, layers, need
+				entry := p.slotEntryOff(slot.idx)
+				if err := p.rom.StoreUint64(entry+8, uint64(hdr)); err != nil {
+					return err
+				}
+				return p.rom.StoreUint64(entry+16, uint64(need))
+			})
+			if err != nil {
+				return 0, err
+			}
+			p.leaked += abandoned
 		}
 	}
 	m := &Model{rom: p.rom, eng: eng, headOff: slot.modelOff, layers: slot.layers}

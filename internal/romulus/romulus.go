@@ -473,7 +473,10 @@ func (r *Romulus) copyRegion(src, dst int) error {
 
 // allocator and roots ---------------------------------------------------
 
-const allocAlign = 8
+// AllocAlign is the heap allocator's alignment: every Alloc consumes
+// a multiple of it, so clients that re-lay out regions in place (the
+// publication slot GC in package mirror) can predict exact consumption.
+const AllocAlign = 8
 
 // Alloc bump-allocates size bytes in the persistent heap inside the
 // current transaction and returns the main-region offset. The allocator
@@ -487,7 +490,7 @@ func (r *Romulus) Alloc(size int) (int, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("%w: %d", ErrAllocNonPositive, size)
 	}
-	aligned := (size + allocAlign - 1) / allocAlign * allocAlign
+	aligned := (size + AllocAlign - 1) / AllocAlign * AllocAlign
 	if r.used+aligned > r.regionSize {
 		return 0, fmt.Errorf("%w: used=%d want=%d region=%d", ErrOutOfSpace, r.used, aligned, r.regionSize)
 	}

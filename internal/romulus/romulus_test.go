@@ -228,7 +228,7 @@ func TestAllocAlignment(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if a%allocAlign != 0 || b%allocAlign != 0 {
+		if a%AllocAlign != 0 || b%AllocAlign != 0 {
 			t.Errorf("unaligned offsets: %d %d", a, b)
 		}
 		if b-a < 8 {

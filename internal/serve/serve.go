@@ -13,11 +13,23 @@
 // stay inside enclave memory, exactly as in the single-enclave
 // experiment.
 //
+// Replicas join their framework's EPC host: on real SGX all enclaves
+// on one machine share a single enclave page cache, so the pool's
+// aggregate working set — training enclave plus every replica — is
+// what decides whether serving runs on the fast side of the paging
+// knee. Options.Workers = WorkersAuto sizes the pool from the host's
+// remaining EPC headroom (one replica footprint per replica, at least
+// 1, at most GOMAXPROCS); Stats.EPCPressure reports the host's
+// overcommit fraction, nonzero exactly when co-located enclaves have
+// jointly outgrown the usable EPC.
+//
 // Admission control is deadline-aware: the request queue is bounded
 // (Options.QueueDepth) and a full queue rejects immediately with
 // ErrOverloaded rather than applying unbounded backpressure; a queued
 // request whose context expires before dispatch is dropped without
-// ever occupying a micro-batch slot.
+// ever occupying a micro-batch slot. Options.MaxEPCPressure adds
+// pressure-aware admission: requests are shed while the host EPC is
+// overcommitted past the limit.
 //
 // The server participates in the v2 model-publication handshake:
 // Refresh restores every replica to the latest published version, one
@@ -37,11 +49,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"plinius/internal/core"
+	"plinius/internal/enclave"
 )
 
 // Defaults for Options fields left zero.
@@ -51,9 +65,19 @@ const (
 	DefaultQueueDepth      = 1024
 )
 
+// WorkersAuto sizes the replica pool from the EPC headroom left on the
+// framework's host: as many replicas as fit the remaining usable EPC
+// without pushing the host over the paging knee (each replica claims
+// Framework.ReplicaFootprint bytes), at least 1, at most GOMAXPROCS.
+// A model so large that even one replica overcommits the host still
+// gets its one replica — it serves, but pays paging and reports
+// EPCPressure.
+const WorkersAuto = -1
+
 // Options parameterises a Server.
 type Options struct {
 	// Workers is the number of enclave inference replicas (default 1).
+	// WorkersAuto sizes the pool from the host's EPC headroom.
 	Workers int
 	// MaxBatch is the micro-batch size at which a batch dispatches
 	// without waiting (default 32).
@@ -69,10 +93,18 @@ type Options struct {
 	QueueDepth int
 	// Seed differentiates the replica enclaves' RNGs (IVs etc.).
 	Seed int64
+	// MaxEPCPressure, when positive, enables pressure-aware admission:
+	// a Classify arriving while the host EPC is overcommitted beyond
+	// this fraction (Stats.EPCPressure, e.g. 0.25 = working set 25%
+	// past the usable EPC) is shed immediately with an error matching
+	// both ErrOverloaded and ErrEPCPressure. Zero disables shedding:
+	// an overcommitted host keeps serving, just slower (every enclave
+	// touch pays the shared paging knee).
+	MaxEPCPressure float64
 }
 
 func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
+	if o.Workers <= 0 && o.Workers != WorkersAuto {
 		o.Workers = 1
 	}
 	if o.MaxBatch <= 0 {
@@ -108,6 +140,7 @@ var (
 	ErrBadImage    = errors.New("serve: image does not match the model input size")
 	ErrOverloaded  = errors.New("serve: request queue is full")
 	ErrNotServable = errors.New("serve: framework cannot serve a model")
+	ErrEPCPressure = errors.New("serve: host EPC overcommitted past the admission limit")
 )
 
 type request struct {
@@ -147,6 +180,7 @@ type ctlReply struct {
 type Server struct {
 	opts      Options
 	f         *core.Framework
+	host      *enclave.Host
 	inputSize int
 	replicas  []*core.Replica
 
@@ -202,9 +236,13 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 			return nil, fmt.Errorf("serve: publish model to PM: %w", err)
 		}
 	}
+	if opts.Workers == WorkersAuto {
+		opts.Workers = autoWorkers(f)
+	}
 	s := &Server{
 		opts:      opts,
 		f:         f,
+		host:      f.Host,
 		inputSize: f.Net.InputSize(),
 		reqCh:     make(chan *request, opts.QueueDepth),
 		batchCh:   make(chan []*request),
@@ -238,6 +276,29 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	return s, nil
 }
 
+// autoWorkers implements WorkersAuto: fit the replica pool into the
+// EPC headroom left on the framework's host. Each replica claims the
+// model parameters plus per-enclave overhead; replicas beyond the
+// remaining usable EPC would push every co-located enclave — including
+// the training enclave — past the shared paging knee, so the pool
+// stops at the budget. Clamped to [1, GOMAXPROCS]: one replica always
+// serves (paying pressure if it must), and replicas beyond the CPU
+// count add no forward-pass parallelism.
+func autoWorkers(f *core.Framework) int {
+	per := f.ReplicaFootprint()
+	n := 1
+	if per > 0 {
+		n = f.Host.Headroom() / per
+	}
+	if n < 1 {
+		n = 1
+	}
+	if max := runtime.GOMAXPROCS(0); n > max {
+		n = max
+	}
+	return n
+}
+
 // Classify submits one image and blocks until its micro-batch has been
 // served or ctx is done. The image must stay unmodified for the
 // duration of the call (it is copied into the batch buffer only at
@@ -250,6 +311,13 @@ func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, err
 	}
 	if len(image) != s.inputSize {
 		return Prediction{}, fmt.Errorf("%w: got %d floats, want %d", ErrBadImage, len(image), s.inputSize)
+	}
+	if s.opts.MaxEPCPressure > 0 {
+		if p := s.host.Overcommit(); p > s.opts.MaxEPCPressure {
+			s.stats.recordEPCShed()
+			return Prediction{}, fmt.Errorf("%w (pressure %.2f > %.2f): %w",
+				ErrOverloaded, p, s.opts.MaxEPCPressure, ErrEPCPressure)
+		}
 	}
 	req := &request{ctx: ctx, image: image, enq: time.Now(), done: make(chan result, 1)}
 
@@ -513,5 +581,17 @@ func (s *Server) RotateKey(ctx context.Context) (uint64, error) {
 	return version, nil
 }
 
-// Stats returns a snapshot of the serving counters.
-func (s *Server) Stats() Stats { return s.stats.snapshot() }
+// Stats returns a snapshot of the serving counters, including the
+// host-level EPC pressure at the moment of the call.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	st.EPCPressure = s.host.Overcommit()
+	st.HostResidentBytes = s.host.Resident()
+	return st
+}
+
+// EPCPressure returns the host's current EPC overcommit fraction: 0
+// while the aggregate working set of all co-located enclaves (training
+// plus every replica) fits the usable EPC, positive once it does not —
+// the regime where every request pays the shared paging knee.
+func (s *Server) EPCPressure() float64 { return s.host.Overcommit() }

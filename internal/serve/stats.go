@@ -15,6 +15,18 @@ type Stats struct {
 	// Expired counts queued requests dropped because their context
 	// ended before dispatch; they never occupied a batch slot.
 	Expired uint64
+	// EPCShed counts requests shed by pressure-aware admission
+	// (Options.MaxEPCPressure): rejected because the host EPC was
+	// overcommitted past the limit, before touching the queue.
+	EPCShed uint64
+	// EPCPressure is the host's EPC overcommit fraction at snapshot
+	// time: 0 while the aggregate working set of all enclaves on the
+	// host fits the usable EPC, 0.5 when it is 50% past it. Nonzero
+	// pressure means every enclave touch pays the shared paging knee.
+	EPCPressure float64
+	// HostResidentBytes is the aggregate enclave working set on the
+	// host at snapshot time (training enclave plus all replicas).
+	HostResidentBytes int
 	// Batches is the number of micro-batches dispatched.
 	Batches uint64
 	// AvgBatch is the mean micro-batch size.
@@ -36,6 +48,7 @@ type statsCollector struct {
 	requests uint64
 	rejected uint64
 	expired  uint64
+	epcShed  uint64
 	batches  uint64
 	latSum   time.Duration
 	latMax   time.Duration
@@ -69,6 +82,12 @@ func (c *statsCollector) recordExpired() {
 	c.mu.Unlock()
 }
 
+func (c *statsCollector) recordEPCShed() {
+	c.mu.Lock()
+	c.epcShed++
+	c.mu.Unlock()
+}
+
 func (c *statsCollector) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -76,6 +95,7 @@ func (c *statsCollector) snapshot() Stats {
 		Requests: c.requests,
 		Rejected: c.rejected,
 		Expired:  c.expired,
+		EPCShed:  c.epcShed,
 		Batches:  c.batches,
 		Uptime:   time.Since(c.start),
 	}

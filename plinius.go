@@ -48,6 +48,7 @@ import (
 	"plinius/internal/core"
 	"plinius/internal/darknet"
 	"plinius/internal/distributed"
+	"plinius/internal/enclave"
 	"plinius/internal/mnist"
 	"plinius/internal/serve"
 	"plinius/internal/spot"
@@ -65,6 +66,14 @@ type (
 	TrainOption = core.TrainOption
 	// ServerProfile bundles one evaluation machine's cost models.
 	ServerProfile = core.ServerProfile
+	// Host is the unit of EPC ownership: all enclaves on one machine —
+	// a framework's training enclave, its serving replicas, co-located
+	// frameworks placed there via Config.Host — share its usable-EPC
+	// budget, and the paging knee is charged on their joint working
+	// set, as on real SGX.
+	Host = enclave.Host
+	// HostStats counts host-level EPC activity.
+	HostStats = enclave.HostStats
 	// StepTiming is a save/restore latency breakdown (Fig. 7 bars).
 	StepTiming = core.StepTiming
 	// SpotTrainer adapts a Framework to the spot simulator.
@@ -101,6 +110,17 @@ var (
 // provisioning, PM mapping through SGX-Romulus, and enclave model
 // construction.
 func New(cfg Config) (*Framework, error) { return core.New(cfg) }
+
+// NewHost creates a machine to co-locate frameworks on: every enclave
+// created on it (pass the host via Config.Host) shares one usable-EPC
+// budget, so jointly overcommitting tenants pay the shared paging knee
+// even when each fits alone. Frameworks built without Config.Host get
+// a private host — the paper's one-enclave-per-machine setup.
+func NewHost(p ServerProfile) *Host { return enclave.NewHost(p.Enclave) }
+
+// WorkersAuto, as ServerOptions.Workers, sizes the replica pool from
+// the EPC headroom remaining on the framework's host.
+const WorkersAuto = serve.WorkersAuto
 
 // SGXEmlPM returns the paper's sgx-emlPM server profile (real SGX, PM
 // emulated on a ramdisk).
@@ -179,6 +199,7 @@ var (
 	ErrServerClosed    = serve.ErrClosed
 	ErrBadImage        = serve.ErrBadImage
 	ErrOverloaded      = serve.ErrOverloaded
+	ErrEPCPressure     = serve.ErrEPCPressure
 	ErrNotServable     = serve.ErrNotServable
 	ErrNoServableModel = core.ErrNoServableModel
 )
