@@ -8,7 +8,7 @@
 //	plinius-bench -exp fig7 -quick    # scaled-down fast run
 //
 // Experiments: fig2, fig6, fig7, table1a, table1b, fig8, fig9, fig10,
-// inference, tcb, freq, coloc, all.
+// inference, tcb, freq, coloc, shard, all.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|all)")
 	quick := flag.Bool("quick", false, "scaled-down parameters for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	root := flag.String("root", ".", "repository root (for -exp tcb)")
@@ -47,9 +47,10 @@ func run(exp string, quick bool, seed int64, root string) error {
 		"tcb":       runTCB,
 		"freq":      runFreq,
 		"coloc":     runColoc,
+		"shard":     runShard,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc"}
+		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard"}
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](quick, seed, root); err != nil {
@@ -229,6 +230,22 @@ func runColoc(quick bool, seed int64, _ string) error {
 		sizeMB, tenants, reps = 40, 2, 1
 	}
 	res, err := experiments.RunColoc(core.SGXEmlPM(), sizeMB, tenants, reps, seed)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runShard(quick bool, seed int64, _ string) error {
+	// A model ~2x the serving hosts' usable EPC: monolithic all-misses
+	// its restore, the shard pipeline streams within the budget. Quick
+	// mode scales the same geometry down (6 MB model, 3 MB hosts).
+	sizeMB, epcMB, batches, batch := 187, 0, 2, 1
+	if quick {
+		sizeMB, epcMB = 6, 3
+	}
+	res, err := experiments.RunShard(core.SGXEmlPM(), sizeMB, epcMB, batches, batch, seed)
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,7 @@ func main() {
 		dataset    = flag.Int("dataset", 2000, "synthetic training samples")
 		seed       = flag.Int64("seed", 42, "random seed")
 		workers    = flag.Int("workers", 4, "enclave inference replicas; 0 auto-sizes from the host's remaining EPC headroom")
+		shards     = flag.Int("shards", 0, "pipeline the model across at most this many shard enclaves; -1 shards automatically when a whole replica exceeds the host's EPC headroom")
 		maxEPC     = flag.Float64("max-epc-pressure", 0, "shed requests while the host EPC is overcommitted past this fraction (0 disables)")
 		maxBatch   = flag.Int("max-batch", 32, "micro-batch size cap")
 		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
@@ -63,8 +64,11 @@ func main() {
 	if *workers == 0 {
 		*workers = plinius.WorkersAuto
 	}
+	if *shards < 0 {
+		*shards = plinius.ShardAuto
+	}
 	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *seed,
-		*workers, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *requests, *clients)
+		*workers, *shards, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *requests, *clients)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Interrupted before or during serving: the shutdown was
@@ -78,7 +82,7 @@ func main() {
 }
 
 func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed int64,
-	workers, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, requests, clients int) error {
+	workers, shards, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, requests, clients int) error {
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
 		Seed:        seed,
@@ -97,6 +101,7 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 
 	srv, err := plinius.Serve(ctx, f, plinius.ServerOptions{
 		Workers:         workers,
+		Shards:          shards,
 		MaxBatch:        maxBatch,
 		MaxQueueLatency: maxLatency,
 		QueueDepth:      queueDepth,
@@ -106,8 +111,13 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (max batch %d, max queue latency %v, queue depth %d, EPC pressure %.2f)\n",
-		srv.Version(), srv.Iteration(), srv.Workers(), maxBatch, maxLatency, queueDepth, srv.EPCPressure())
+	if srv.Shards() > 0 {
+		fmt.Printf("serving model version %d (iteration %d) pipelined across %d shard enclaves (window %d, streaming=%v, max batch %d, queue depth %d)\n",
+			srv.Version(), srv.Iteration(), srv.Shards(), srv.Workers(), srv.ShardsStreaming(), maxBatch, queueDepth)
+	} else {
+		fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (max batch %d, max queue latency %v, queue depth %d, EPC pressure %.2f)\n",
+			srv.Version(), srv.Iteration(), srv.Workers(), maxBatch, maxLatency, queueDepth, srv.EPCPressure())
+	}
 
 	if addr != "" {
 		err = serveHTTP(ctx, srv, addr)
@@ -122,9 +132,14 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 	return err
 }
 
-// classifyStatus maps a serving error to an HTTP status.
+// classifyStatus maps a serving error to an HTTP status. EPC-pressure
+// shedding is checked before the generic overload path it wraps: it is
+// a capacity condition of the machine, not of the queue, so it maps to
+// 503 (with Retry-After, see the handler) rather than 429.
 func classifyStatus(err error) int {
 	switch {
+	case errors.Is(err, plinius.ErrEPCPressure):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, plinius.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, plinius.ErrServerClosed):
@@ -152,6 +167,11 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
 		}
 		pred, err := srv.Classify(r.Context(), req.Image)
 		if err != nil {
+			if errors.Is(err, plinius.ErrEPCPressure) {
+				// Shed for EPC pressure: the host is overcommitted, not
+				// the queue — tell clients when to come back.
+				w.Header().Set("Retry-After", "1")
+			}
 			http.Error(w, err.Error(), classifyStatus(err))
 			return
 		}
@@ -191,10 +211,16 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
 			"batches":             st.Batches,
 			"avg_batch":           st.AvgBatch,
 			"avg_latency_us":      st.AvgLatency.Microseconds(),
+			"p50_latency_us":      st.P50Latency.Microseconds(),
+			"p95_latency_us":      st.P95Latency.Microseconds(),
+			"p99_latency_us":      st.P99Latency.Microseconds(),
 			"max_latency_us":      st.MaxLatency.Microseconds(),
 			"req_per_sec":         st.Throughput,
 			"uptime_sec":          st.Uptime.Seconds(),
 			"model_version":       srv.Version(),
+			"shards":              srv.Shards(),
+			"shard_streaming":     srv.ShardsStreaming(),
+			"shard_pm_restores":   srv.ShardRestores(),
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -255,11 +281,17 @@ func loadgen(ctx context.Context, srv *plinius.Server, ds *plinius.Dataset, requ
 	}
 	elapsed := time.Since(start)
 	st := srv.Stats()
-	fmt.Printf("served %d requests in %v (%d rejected by admission control)\n",
-		st.Requests, elapsed.Round(time.Millisecond), st.Rejected)
+	fmt.Printf("served %d requests in %v (%d rejected by admission control, %d shed for EPC pressure)\n",
+		st.Requests, elapsed.Round(time.Millisecond), st.Rejected, st.EPCShed)
 	fmt.Printf("  throughput : %.0f req/s\n", float64(st.Requests)/elapsed.Seconds())
 	fmt.Printf("  micro-batch: %.1f avg over %d batches\n", st.AvgBatch, st.Batches)
-	fmt.Printf("  latency    : avg %v, max %v\n",
-		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	fmt.Printf("  latency    : avg %v, p50 %v, p95 %v, p99 %v, max %v\n",
+		st.AvgLatency.Round(time.Microsecond), st.P50Latency.Round(time.Microsecond),
+		st.P95Latency.Round(time.Microsecond), st.P99Latency.Round(time.Microsecond),
+		st.MaxLatency.Round(time.Microsecond))
+	if srv.Shards() > 0 {
+		fmt.Printf("  sharding   : %d shards, window %d, streaming=%v, %d PM range restores\n",
+			srv.Shards(), srv.Workers(), srv.ShardsStreaming(), srv.ShardRestores())
+	}
 	return nil
 }

@@ -124,8 +124,75 @@ func run() error {
 		100*float64(correct)/float64(test.N), test.N)
 	fmt.Printf("throughput: %.0f req/s in %.1f-image micro-batches (%d batches)\n",
 		st.Throughput, st.AvgBatch, st.Batches)
-	fmt.Printf("latency   : avg %v, max %v (rejected %d, expired %d)\n",
-		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond),
+	fmt.Printf("latency   : avg %v, p50 %v, p99 %v, max %v (rejected %d, expired %d)\n",
+		st.AvgLatency.Round(time.Microsecond), st.P50Latency.Round(time.Microsecond),
+		st.P99Latency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond),
 		st.Rejected, st.Expired)
+
+	return shardedServing(ctx)
+}
+
+// shardedServing demonstrates ShardAuto on a model that is over-EPC
+// relative to its host: the training enclave claims almost the whole
+// (deliberately small) machine, so a whole-model serving replica would
+// push the host far over the paging knee. ShardAuto notices the
+// replica does not fit the headroom and pipelines the model across
+// shard enclaves instead: hot layer ranges bounded to the headroom,
+// parked ranges streamed back from the pinned published snapshot in
+// PM — the host never crosses the knee.
+func shardedServing(ctx context.Context) error {
+	fmt.Println("\n--- sharded serving (ShardAuto) ---")
+	prof := plinius.SGXEmlPM()
+	// A 21 MB machine whose training enclave claims ~20 MB: under 1 MB
+	// of EPC headroom left for serving, far less than one replica.
+	host := plinius.NewHost(prof, plinius.WithHostEPC(42<<19))
+	f, err := plinius.New(plinius.Config{
+		ModelConfig:        plinius.MNISTConfig(2, 8, 64),
+		Host:               host,
+		TrainOverheadBytes: 20 << 20,
+		Seed:               4,
+	})
+	if err != nil {
+		return err
+	}
+	ds := plinius.SyntheticDataset(600, 4)
+	if err := f.LoadDataset(ds); err != nil {
+		return err
+	}
+	if err := f.Train(ctx, plinius.StopAt(60)); err != nil {
+		return err
+	}
+	fmt.Printf("replica footprint %.1f MB vs %.1f MB headroom: a whole replica cannot fit\n",
+		float64(f.ReplicaFootprint())/(1<<20), float64(host.Headroom())/(1<<20))
+
+	srv, err := plinius.Serve(ctx, f, plinius.ServerOptions{
+		Shards:             plinius.ShardAuto,
+		ShardOverheadBytes: 64 << 10,
+		MaxBatch:           8,
+		MaxQueueLatency:    time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("ShardAuto: %d shard enclaves, pipeline window %d, streaming=%v\n",
+		srv.Shards(), srv.Workers(), srv.ShardsStreaming())
+
+	correct := 0
+	for i := 0; i < 200; i++ {
+		pred, err := srv.Classify(ctx, ds.Image(i))
+		if err != nil {
+			return err
+		}
+		if pred.Class == ds.Labels[i] {
+			correct++
+		}
+	}
+	hs := host.Stats()
+	fmt.Printf("served 200 requests, accuracy %.1f%%; host peak %.1f MB of %.1f MB usable, EPC pressure %.2f\n",
+		100*float64(correct)/200, float64(hs.PeakResidentBytes)/(1<<20),
+		float64(host.UsableEPC())/(1<<20), srv.EPCPressure())
+	fmt.Printf("PM range restores instead of page faults: %d restores, %d faults since serving began\n",
+		srv.ShardRestores(), hs.PageSwaps)
 	return nil
 }

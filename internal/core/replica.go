@@ -95,7 +95,20 @@ func (f *Framework) provisionReplicaKey(encl *enclave.Enclave) ([]byte, error) {
 // restored from the latest published snapshot (publishing the current
 // model first if nothing has been published yet). seed differentiates
 // the replica's enclave RNG.
+//
+// The replica enclave joins the framework's host: on real SGX all
+// co-located enclaves share one EPC, so every replica's working set
+// counts against the same 93.5 MB and a pool sized past the budget
+// pays the shared paging knee.
 func (f *Framework) NewReplica(seed int64) (*Replica, error) {
+	return f.NewReplicaOn(f.Host, seed)
+}
+
+// NewReplicaOn is NewReplica with an explicit host for the replica
+// enclave — the train-here-serve-there shape, where inference replicas
+// run on a machine whose EPC the training enclave does not occupy. The
+// model still travels only through PM, sealed.
+func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64) (*Replica, error) {
 	if f.Crashed() {
 		return nil, ErrCrashedDown
 	}
@@ -108,12 +121,8 @@ func (f *Framework) NewReplica(seed int64) (*Replica, error) {
 			return nil, err
 		}
 	}
-	// The replica enclave joins the framework's host: on real SGX all
-	// co-located enclaves share one EPC, so every replica's working set
-	// counts against the same 93.5 MB and a pool sized past the budget
-	// pays the shared paging knee.
 	r := &Replica{f: f}
-	r.Enclave = f.Host.NewEnclave(enclave.WithSeed(seed))
+	r.Enclave = host.NewEnclave(enclave.WithSeed(seed))
 
 	key, err := f.provisionReplicaKey(r.Enclave)
 	if err != nil {

@@ -1,0 +1,753 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"strings"
+	"sync"
+
+	"plinius/internal/darknet"
+	"plinius/internal/enclave"
+	"plinius/internal/engine"
+	"plinius/internal/mirror"
+)
+
+// Model sharding (the serving answer to the Fig. 7 paging knee): a
+// ShardGroup serves one model that exceeds the usable EPC by splitting
+// it into contiguous layer ranges, each hosted in its own small shard
+// enclave, and pipelining micro-batches through them — shard k
+// processes batch i+1 while shard k+1 processes batch i, activations
+// crossing between enclaves only in sealed form.
+//
+// The point is EPC residency. A monolithic replica of an over-EPC
+// model keeps the whole parameter set resident, so the host is
+// permanently over the paging knee and every restore and every staged
+// batch pays the all-miss fault stream. A ShardGroup instead bounds
+// what is resident: a shard holds only a small fixed overhead while
+// idle ("parked") and reserves its layer range — parameters plus
+// activation buffers — only while processing a batch ("hot"); a parked
+// shard's parameters are re-restored on demand from the pinned
+// published snapshot in PM, trading the fault storm for a sealed PM
+// read and an in-enclave decrypt, exactly the byte-addressable-PM
+// bargain the paper builds on. The pipeline admits only as many
+// concurrent batches as hot shards fit the host's EPC headroom, so the
+// host stays under the knee and serving pays (near) zero faults where
+// the monolithic replica pays all-miss.
+//
+// When the whole plan fits the headroom the group runs resident: every
+// shard restores once and stays hot, nothing is re-read per batch, and
+// a single-shard plan is exactly the Replica path — same restore, same
+// forward, bit-identical classes.
+
+// DefaultShardOverheadBytes is the EPC working set a parked shard
+// enclave keeps resident (code, stack, sealing buffers). It is far
+// smaller than a training enclave's overhead: a shard runs only a
+// forward pass over a layer range.
+const DefaultShardOverheadBytes = 1 << 20
+
+// ShardGroup errors.
+var (
+	ErrShardGroupClosed = errors.New("core: shard group is closed")
+	ErrShardBatch       = errors.New("core: batch exceeds the shard plan's micro-batch size")
+)
+
+// ShardOptions parameterises NewShardGroup.
+type ShardOptions struct {
+	// Shards, when > 0, asks the planner for at most this many
+	// contiguous layer-range shards. Zero lets MaxShardBytes (or the
+	// host headroom) drive the split.
+	Shards int
+	// MaxShardBytes bounds one shard's hot working set (parameters +
+	// activation buffers). Zero derives a bound from the serving
+	// host's EPC headroom so a pipeline window of a few hot shards
+	// stays under the paging knee.
+	MaxShardBytes int
+	// Batch is the micro-batch size the plan reserves activation
+	// buffers for; ClassifyBatch rejects larger batches. Zero uses the
+	// model's configured batch size.
+	Batch int
+	// Host places the shard enclaves; nil uses the framework's host.
+	Host *enclave.Host
+	// OverheadBytes is the parked per-shard-enclave working set
+	// (default DefaultShardOverheadBytes).
+	OverheadBytes int
+	// Seed differentiates the shard enclaves' RNGs.
+	Seed int64
+}
+
+// shard is one pipeline stage: an enclave owning one contiguous layer
+// range of the model.
+type shard struct {
+	idx  int
+	encl *enclave.Enclave
+	eng  *engine.Engine
+	net  *darknet.Network
+	rng  darknet.ShardRange
+
+	// nodeFrom is the index of the shard's first layer node in the
+	// persistent snapshot (what MirrorInRange restores from).
+	nodeFrom int
+	// footprint is the hot working set: parameters + activations.
+	footprint int
+	hot       bool
+	model     *mirror.Model
+}
+
+// shardJob is one micro-batch travelling the pipeline.
+type shardJob struct {
+	n       int
+	plain   []float32 // stage-0 input (caller-owned, valid until done)
+	sealed  []byte    // sealed activations between stages
+	classes []int
+	err     error
+	done    chan *shardJob
+}
+
+// ShardGroup is a pipelined pool of shard enclaves serving one model.
+// ClassifyBatch is safe for concurrent use; concurrent batches pipeline
+// through the stages.
+type ShardGroup struct {
+	f         *Framework
+	host      *enclave.Host
+	batch     int
+	inputSize int
+	overhead  int
+	streaming bool
+	window    int
+	shards    []*shard
+	stages    []chan *shardJob
+	slots     chan struct{} // in-flight window tokens
+	wg        sync.WaitGroup
+
+	submitMu sync.Mutex // serializes intake; held across quiesce for control ops
+	closed   bool
+
+	mu       sync.Mutex // guards version, iter, restores, pin
+	pin      *mirror.Pin
+	version  uint64
+	iter     int
+	restores uint64
+}
+
+// NewShardGroup splits the framework's model into contiguous layer
+// ranges and builds one shard enclave per range on opts.Host (the
+// framework's host by default): each shard is attested and provisioned
+// with the data key over its own channel, and restores only its range
+// from the latest published snapshot (publishing the current model
+// first if nothing is published). The plan's layer ranges are recorded
+// as a shard manifest alongside the publication slots, durably; auto
+// planning reads it back, so a group re-created after a crash restores
+// the same split.
+func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
+	if f.Crashed() {
+		return nil, ErrCrashedDown
+	}
+	latest, err := f.LatestPublished()
+	if err != nil {
+		return nil, err
+	}
+	if latest == 0 {
+		if _, err := f.Publish(); err != nil {
+			return nil, err
+		}
+	}
+	host := opts.Host
+	if host == nil {
+		host = f.Host
+	}
+	overhead := opts.OverheadBytes
+	if overhead <= 0 {
+		overhead = DefaultShardOverheadBytes
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		f.modelMu.Lock()
+		if f.Net != nil {
+			batch = f.Net.Config.Batch
+		}
+		f.modelMu.Unlock()
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+
+	// One parsed copy serves every shard: the ranges are disjoint, so
+	// each shard's layers (and their buffers) are private to its
+	// enclave.
+	full, err := darknet.ParseConfig(strings.NewReader(f.cfg.ModelConfig),
+		mrand.New(mrand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("core: shard model config: %w", err)
+	}
+	headroom := host.Headroom()
+	plan, err := f.planShards(full, opts, batch, headroom)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &ShardGroup{
+		f:         f,
+		host:      host,
+		batch:     batch,
+		inputSize: full.InputSize(),
+		overhead:  overhead,
+	}
+	fail := func(err error) (*ShardGroup, error) {
+		for _, s := range g.shards {
+			_ = s.encl.Close()
+		}
+		return nil, err
+	}
+	total, maxFootprint := 0, 0
+	for i, r := range plan {
+		encl := host.NewEnclave(enclave.WithSeed(opts.Seed + int64(i) + 1))
+		g.shards = append(g.shards, &shard{idx: i, encl: encl}) // tracked for cleanup
+		key, err := f.provisionReplicaKey(encl)
+		if err != nil {
+			return fail(fmt.Errorf("core: shard %d: %w", i, err))
+		}
+		eng, err := engine.New(key, engine.WithEnclave(encl))
+		if err != nil {
+			return fail(fmt.Errorf("core: shard %d engine: %w", i, err))
+		}
+		sub, err := full.Shard(r)
+		if err != nil {
+			return fail(fmt.Errorf("core: shard %d: %w", i, err))
+		}
+		footprint, err := full.ShardFootprint(r, batch)
+		if err != nil {
+			return fail(fmt.Errorf("core: shard %d: %w", i, err))
+		}
+		if err := encl.Ecall(func() error { return encl.Reserve(overhead) }); err != nil {
+			return fail(fmt.Errorf("core: shard %d reserve: %w", i, err))
+		}
+		s := g.shards[i]
+		s.eng, s.net, s.rng = eng, sub, r
+		s.nodeFrom = full.ParamLayersBefore(r.From)
+		s.footprint = footprint
+		total += footprint
+		if footprint > maxFootprint {
+			maxFootprint = footprint
+		}
+	}
+
+	// Residency mode: the whole plan resident when it fits what the
+	// host had to offer, else stream ranges from PM with a pipeline
+	// window sized so the hot set stays within the budget. A window of
+	// at least 1 always serves — an oversized single shard overcommits
+	// the host while hot and pays (bounded) pressure, mirroring the
+	// one-replica floor of WorkersAuto.
+	budget := headroom - overhead*len(plan)
+	g.streaming = total > budget
+	g.window = len(plan)
+	if g.streaming {
+		w := 0
+		if maxFootprint > 0 {
+			w = budget / maxFootprint
+		}
+		if w < 1 {
+			w = 1
+		}
+		if w > len(plan) {
+			w = len(plan)
+		}
+		g.window = w
+	}
+	g.slots = make(chan struct{}, g.window)
+
+	// Pin the served version, open each shard's snapshot handle, and
+	// record the manifest.
+	pin, err := f.PinPublished(0)
+	if err != nil {
+		return fail(fmt.Errorf("core: shard pin: %w", err))
+	}
+	models, iter, err := g.openModels(pin)
+	if err != nil {
+		pin.Release()
+		return fail(fmt.Errorf("core: shard snapshot: %w", err))
+	}
+	for i, s := range g.shards {
+		s.model = models[i]
+	}
+	g.pin, g.version, g.iter = pin, pin.Version(), iter
+	if err := f.recordShardManifest(g.manifest()); err != nil {
+		pin.Release()
+		return fail(fmt.Errorf("core: shard manifest: %w", err))
+	}
+	if !g.streaming {
+		for _, s := range g.shards {
+			if err := g.ensureHot(s); err != nil {
+				pin.Release()
+				return fail(fmt.Errorf("core: shard %d restore: %w", s.idx, err))
+			}
+		}
+	}
+
+	g.stages = make([]chan *shardJob, len(g.shards))
+	for i := range g.stages {
+		g.stages[i] = make(chan *shardJob, 1)
+	}
+	g.wg.Add(len(g.shards))
+	for _, s := range g.shards {
+		go g.run(s)
+	}
+	return g, nil
+}
+
+// planShards picks the contiguous layer-range plan for the options.
+// Explicit options (a shard count or a byte bound) always replan; auto
+// planning first honours a shard manifest persisted by a previous
+// group, so a group re-created after a crash or restart restores
+// exactly the split whose manifest is on record.
+func (f *Framework) planShards(full *darknet.Network, opts ShardOptions, batch, headroom int) ([]darknet.ShardRange, error) {
+	switch {
+	case opts.MaxShardBytes > 0:
+		return full.PlanShards(opts.MaxShardBytes, batch)
+	case opts.Shards > 0:
+		return full.PlanShardCount(opts.Shards, batch)
+	default:
+		if plan := f.persistedShardPlan(len(full.Layers)); plan != nil {
+			return plan, nil
+		}
+		// Headroom-driven: aim for a pipeline window of a few hot
+		// shards inside the budget. A host with no headroom still gets
+		// a best-effort per-layer split (bound 1 packs one layer per
+		// shard), the finest granularity available.
+		bound := headroom / 4
+		if bound < 1 {
+			bound = 1
+		}
+		return full.PlanShards(bound, batch)
+	}
+}
+
+// persistedShardPlan reads the shard manifest back as a plan, nil when
+// none is recorded or the recorded split no longer matches the model
+// (not a contiguous cover of its layers) — a shape change or a corrupt
+// table simply replans and re-records.
+func (f *Framework) persistedShardPlan(numLayers int) []darknet.ShardRange {
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
+	if err := f.attachPublication(); err != nil {
+		return nil
+	}
+	entries, err := f.pub.ShardManifest()
+	if err != nil || len(entries) == 0 {
+		return nil
+	}
+	plan := make([]darknet.ShardRange, len(entries))
+	next := 0
+	for i, e := range entries {
+		if e.From != next || e.To <= e.From || e.To > numLayers {
+			return nil
+		}
+		plan[i] = darknet.ShardRange{From: e.From, To: e.To}
+		next = e.To
+	}
+	if next != numLayers {
+		return nil
+	}
+	return plan
+}
+
+// manifest returns the plan's layer ranges.
+func (g *ShardGroup) manifest() []mirror.ShardManifestEntry {
+	entries := make([]mirror.ShardManifestEntry, len(g.shards))
+	for i, s := range g.shards {
+		entries[i] = mirror.ShardManifestEntry{From: s.rng.From, To: s.rng.To}
+	}
+	return entries
+}
+
+// recordShardManifest persists the shard plan alongside the
+// publication slots, skipping the write when the recorded plan already
+// matches.
+func (f *Framework) recordShardManifest(entries []mirror.ShardManifestEntry) error {
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
+	if err := f.attachPublication(); err != nil {
+		return err
+	}
+	cur, err := f.pub.ShardManifest()
+	if err == nil && len(cur) == len(entries) {
+		same := true
+		for i := range cur {
+			if cur[i] != entries[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	return f.pub.RecordShardManifest(entries)
+}
+
+// openModels opens one handle per shard on the pinned snapshot and
+// returns them with the snapshot's iteration. The handles are NOT
+// installed on the shards — callers swap them in only once every
+// fallible step of their control operation has succeeded, so a failed
+// Refresh/Rotate never leaves a shard reading an unpinned slot.
+func (g *ShardGroup) openModels(pin *mirror.Pin) ([]*mirror.Model, int, error) {
+	g.f.pmMu.Lock()
+	defer g.f.pmMu.Unlock()
+	models := make([]*mirror.Model, len(g.shards))
+	for i, s := range g.shards {
+		m, err := pin.Open(s.eng, mirror.WithEnclave(s.encl))
+		if err != nil {
+			return nil, 0, err
+		}
+		models[i] = m
+	}
+	iter, err := models[0].Iteration()
+	if err != nil {
+		return nil, 0, err
+	}
+	return models, iter, nil
+}
+
+// restoreShard restores one shard's layer range from the given
+// snapshot handle inside its enclave.
+func (g *ShardGroup) restoreShard(s *shard, m *mirror.Model) error {
+	return s.encl.Ecall(func() error {
+		g.f.pmMu.Lock()
+		defer g.f.pmMu.Unlock()
+		_, err := m.MirrorInRange(s.net, s.nodeFrom)
+		return err
+	})
+}
+
+// ensureHot reserves the shard's range on the host and restores its
+// parameters from the pinned snapshot. Free while the host is under
+// the knee: the restore is a sealed PM read plus in-enclave decrypt.
+func (g *ShardGroup) ensureHot(s *shard) error {
+	if s.hot {
+		return nil
+	}
+	if err := s.encl.Reserve(s.footprint); err != nil {
+		return err
+	}
+	g.f.pmMu.Lock()
+	_, err := s.model.MirrorInRange(s.net, s.nodeFrom)
+	g.f.pmMu.Unlock()
+	if err != nil {
+		_ = s.encl.Free(s.footprint)
+		return err
+	}
+	s.hot = true
+	g.mu.Lock()
+	g.restores++
+	g.mu.Unlock()
+	return nil
+}
+
+// park returns the shard's range to the host budget; the parameters
+// must be re-restored from PM before the next batch.
+func (g *ShardGroup) park(s *shard) {
+	if !s.hot {
+		return
+	}
+	_ = s.encl.Free(s.footprint)
+	s.hot = false
+}
+
+// run is one shard's stage loop: restore the range if parked, open the
+// incoming sealed activations (or stage the batch images at stage 0),
+// forward through the range, seal the result for the next shard — or
+// classify at the last — then park in streaming mode so the next stage
+// window fits the budget. Errors skip processing but ride the job to
+// completion so ordering and delivery hold.
+func (g *ShardGroup) run(s *shard) {
+	defer g.wg.Done()
+	last := s.idx == len(g.shards)-1
+	if !last {
+		defer close(g.stages[s.idx+1])
+	}
+	for job := range g.stages[s.idx] {
+		if job.err == nil {
+			job.err = g.process(s, job, last)
+		}
+		if last {
+			job.done <- job
+		} else {
+			g.stages[s.idx+1] <- job
+		}
+	}
+}
+
+// process runs one micro-batch through one shard inside its enclave.
+func (g *ShardGroup) process(s *shard, job *shardJob, last bool) error {
+	return s.encl.Ecall(func() error {
+		if err := g.ensureHot(s); err != nil {
+			return fmt.Errorf("core: shard %d restore: %w", s.idx, err)
+		}
+		if g.streaming {
+			defer g.park(s)
+		}
+		var in []float32
+		if s.idx == 0 {
+			s.encl.Touch(4 * len(job.plain))
+			in = job.plain
+		} else {
+			s.encl.CopyAcross(len(job.sealed))
+			var err error
+			in, err = s.eng.OpenFloats(job.sealed)
+			if err != nil {
+				return fmt.Errorf("core: shard %d activations: %w", s.idx, err)
+			}
+			job.sealed = nil
+		}
+		if last {
+			classes, err := s.net.ClassifyBatch(in, job.n)
+			if err != nil {
+				return fmt.Errorf("core: shard %d: %w", s.idx, err)
+			}
+			job.classes = classes
+			return nil
+		}
+		out, err := s.net.Forward(in, job.n, false)
+		if err != nil {
+			return fmt.Errorf("core: shard %d: %w", s.idx, err)
+		}
+		sealed, err := s.eng.SealFloats(out)
+		if err != nil {
+			return fmt.Errorf("core: shard %d seal: %w", s.idx, err)
+		}
+		job.sealed = sealed
+		return nil
+	})
+}
+
+// ClassifyBatch pipelines the images (laid out contiguously, at most
+// the plan's micro-batch size) through the shard stages and returns
+// one class per image. Safe for concurrent use; concurrent calls keep
+// the pipeline full, up to the residency window. The images slice must
+// stay unmodified until the call returns.
+func (g *ShardGroup) ClassifyBatch(images []float32) ([]int, error) {
+	if len(images) == 0 || len(images)%g.inputSize != 0 {
+		return nil, fmt.Errorf("core: shard classify: %d floats is not a positive multiple of the %d-float input", len(images), g.inputSize)
+	}
+	n := len(images) / g.inputSize
+	if n > g.batch {
+		return nil, fmt.Errorf("%w: %d > %d", ErrShardBatch, n, g.batch)
+	}
+	job := &shardJob{n: n, plain: images, done: make(chan *shardJob, 1)}
+	g.submitMu.Lock()
+	if g.closed {
+		g.submitMu.Unlock()
+		return nil, ErrShardGroupClosed
+	}
+	g.slots <- struct{}{}
+	g.stages[0] <- job
+	g.submitMu.Unlock()
+	<-job.done
+	<-g.slots
+	if job.err != nil {
+		return nil, job.err
+	}
+	return job.classes, nil
+}
+
+// quiesce waits until no batch is in flight by claiming every window
+// token; resume releases them. Callers hold submitMu, so no new batch
+// can slip in between.
+func (g *ShardGroup) quiesce() {
+	for i := 0; i < g.window; i++ {
+		g.slots <- struct{}{}
+	}
+}
+
+func (g *ShardGroup) resume() {
+	for i := 0; i < g.window; i++ {
+		<-g.slots
+	}
+}
+
+// Refresh rolls the group to the latest published version: the
+// pipeline is quiesced (queued callers wait, none fail), every shard
+// re-pins and — in resident mode — restores its range, and the old pin
+// is released. Unlike a replica pool, the shards of one model must
+// change version together: a half-refreshed pipeline would mix weights
+// from two versions inside one forward pass.
+func (g *ShardGroup) Refresh() (int, error) {
+	g.submitMu.Lock()
+	defer g.submitMu.Unlock()
+	if g.closed {
+		return 0, ErrShardGroupClosed
+	}
+	g.quiesce()
+	defer g.resume()
+	return g.refreshLocked()
+}
+
+// refreshLocked does the re-pin + restore with the pipeline quiesced.
+// Fallible steps are staged: the new snapshot handles are installed —
+// and the old pin released — only after everything has succeeded, so a
+// failed refresh leaves the group serving the old version coherently,
+// never reading an unpinned slot. A partial resident-mode restore is
+// rolled back from the still-pinned old snapshot.
+func (g *ShardGroup) refreshLocked() (int, error) {
+	pin, err := g.f.PinPublished(0)
+	if err != nil {
+		return 0, err
+	}
+	models, iter, err := g.openModels(pin)
+	if err != nil {
+		pin.Release()
+		return 0, err
+	}
+	if err := g.f.recordShardManifest(g.manifest()); err != nil {
+		pin.Release()
+		return 0, err
+	}
+	if g.streaming {
+		// Parked ranges restore lazily from the new pin; drop anything
+		// still hot so no stale range survives the version flip.
+		for _, s := range g.shards {
+			g.park(s)
+		}
+	} else {
+		for i, s := range g.shards {
+			if err := g.restoreShard(s, models[i]); err != nil {
+				// Roll the already-restored shards back to the old
+				// (still pinned) snapshot so no forward pass can ever
+				// mix weights from two versions.
+				var rollbackErr error
+				for j := 0; j < i; j++ {
+					if rerr := g.restoreShard(g.shards[j], g.shards[j].model); rerr != nil && rollbackErr == nil {
+						rollbackErr = rerr
+					}
+				}
+				pin.Release()
+				if rollbackErr != nil {
+					return 0, fmt.Errorf("%w (rollback to the served version also failed: %v)", err, rollbackErr)
+				}
+				return 0, err
+			}
+		}
+	}
+	for i, s := range g.shards {
+		s.model = models[i]
+	}
+	g.mu.Lock()
+	old := g.pin
+	g.pin, g.version, g.iter = pin, pin.Version(), iter
+	g.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	return iter, nil
+}
+
+// Rotate re-provisions the framework's current data key into every
+// shard enclave over fresh attestation channels, rebuilds the engines,
+// and refreshes to the latest published snapshot (which a preceding
+// Framework.RotateKey published under the new key).
+func (g *ShardGroup) Rotate() (int, error) {
+	g.submitMu.Lock()
+	defer g.submitMu.Unlock()
+	if g.closed {
+		return 0, ErrShardGroupClosed
+	}
+	g.quiesce()
+	defer g.resume()
+	// Stage the new-key engines and install them only once every shard
+	// has provisioned: the stages of one pipeline must always share a
+	// key, or the sealed activation hand-off between them breaks. A
+	// mid-loop provisioning failure therefore leaves the group serving
+	// coherently under the old key.
+	engs := make([]*engine.Engine, len(g.shards))
+	for i, s := range g.shards {
+		key, err := g.f.provisionReplicaKey(s.encl)
+		if err != nil {
+			return 0, fmt.Errorf("core: shard %d rotate: %w", s.idx, err)
+		}
+		engs[i], err = engine.New(key, engine.WithEnclave(s.encl))
+		if err != nil {
+			return 0, fmt.Errorf("core: shard %d rotate engine: %w", s.idx, err)
+		}
+	}
+	for i, s := range g.shards {
+		s.eng = engs[i]
+	}
+	return g.refreshLocked()
+}
+
+// Close quiesces the pipeline (every accepted batch is answered),
+// stops the stage goroutines and tears down the shard enclaves,
+// returning their entire footprint to the host.
+func (g *ShardGroup) Close() error {
+	g.submitMu.Lock()
+	defer g.submitMu.Unlock()
+	if g.closed {
+		return ErrShardGroupClosed
+	}
+	g.quiesce()
+	g.closed = true
+	close(g.stages[0])
+	g.wg.Wait()
+	var firstErr error
+	for _, s := range g.shards {
+		if err := s.encl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	g.mu.Lock()
+	pin := g.pin
+	g.pin = nil
+	g.mu.Unlock()
+	if pin != nil {
+		pin.Release()
+	}
+	return firstErr
+}
+
+// Shards returns the number of pipeline stages.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Window returns how many batches may be in flight at once — in
+// streaming mode, the number of hot shards the EPC budget admits.
+func (g *ShardGroup) Window() int { return g.window }
+
+// Streaming reports whether the group streams parked ranges from PM
+// per batch (true when the whole plan does not fit the host headroom).
+func (g *ShardGroup) Streaming() bool { return g.streaming }
+
+// Plan returns a copy of the layer ranges, one per shard.
+func (g *ShardGroup) Plan() []darknet.ShardRange {
+	plan := make([]darknet.ShardRange, len(g.shards))
+	for i, s := range g.shards {
+		plan[i] = s.rng
+	}
+	return plan
+}
+
+// InputSize returns the flattened per-image input size.
+func (g *ShardGroup) InputSize() int { return g.inputSize }
+
+// Batch returns the plan's micro-batch bound.
+func (g *ShardGroup) Batch() int { return g.batch }
+
+// Version returns the published model version the group serves.
+func (g *ShardGroup) Version() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.version
+}
+
+// Iteration returns the training iteration of the served snapshot.
+func (g *ShardGroup) Iteration() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.iter
+}
+
+// Restores counts range restores from PM — in streaming mode, the
+// price paid per batch per parked shard instead of the paging knee.
+func (g *ShardGroup) Restores() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.restores
+}

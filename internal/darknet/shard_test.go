@@ -1,0 +1,160 @@
+package darknet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func shardTestNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := ParseConfig(strings.NewReader(MNISTConfig(3, 8, 4)), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	return net
+}
+
+// TestPlanShardsCoversAllLayers: every plan is a contiguous exact cover
+// of the layer list, whatever the bound.
+func TestPlanShardsCoversAllLayers(t *testing.T) {
+	net := shardTestNet(t)
+	for _, maxBytes := range []int{1, 16 << 10, 1 << 20, 1 << 30} {
+		plan, err := net.PlanShards(maxBytes, 4)
+		if err != nil {
+			t.Fatalf("PlanShards(%d): %v", maxBytes, err)
+		}
+		next := 0
+		for _, r := range plan {
+			if r.From != next || r.To <= r.From {
+				t.Fatalf("PlanShards(%d): range %v breaks contiguous cover at %d", maxBytes, r, next)
+			}
+			next = r.To
+		}
+		if next != len(net.Layers) {
+			t.Fatalf("PlanShards(%d): cover ends at %d of %d layers", maxBytes, next, len(net.Layers))
+		}
+	}
+}
+
+// TestPlanShardsRespectsBound: multi-layer shards stay under the bound
+// (single oversize layers are allowed their own shard).
+func TestPlanShardsRespectsBound(t *testing.T) {
+	net := shardTestNet(t)
+	bound := 64 << 10
+	plan, err := net.PlanShards(bound, 4)
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	if len(plan) < 2 {
+		t.Fatalf("bound %d produced %d shards; test needs a real split", bound, len(plan))
+	}
+	for _, r := range plan {
+		fp, err := net.ShardFootprint(r, 4)
+		if err != nil {
+			t.Fatalf("ShardFootprint(%v): %v", r, err)
+		}
+		if r.To-r.From > 1 && fp > bound {
+			t.Fatalf("shard %v footprint %d exceeds bound %d", r, fp, bound)
+		}
+	}
+}
+
+// TestPlanShardCount: the count-targeted planner returns at most the
+// requested number of shards, still covering everything.
+func TestPlanShardCount(t *testing.T) {
+	net := shardTestNet(t)
+	for _, count := range []int{1, 2, 3, 100} {
+		plan, err := net.PlanShardCount(count, 4)
+		if err != nil {
+			t.Fatalf("PlanShardCount(%d): %v", count, err)
+		}
+		if len(plan) > count {
+			t.Fatalf("PlanShardCount(%d) returned %d shards", count, len(plan))
+		}
+		if plan[len(plan)-1].To != len(net.Layers) || plan[0].From != 0 {
+			t.Fatalf("PlanShardCount(%d): plan %v does not cover the network", count, plan)
+		}
+	}
+}
+
+// TestShardedForwardBitIdentical: chaining shard forward passes over
+// any plan reproduces the full network's output bit for bit.
+func TestShardedForwardBitIdentical(t *testing.T) {
+	net := shardTestNet(t)
+	batch := 3
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float32, batch*net.InputSize())
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	want, err := net.Forward(x, batch, false)
+	if err != nil {
+		t.Fatalf("full Forward: %v", err)
+	}
+
+	plan, err := net.PlanShards(64<<10, batch)
+	if err != nil {
+		t.Fatalf("PlanShards: %v", err)
+	}
+	cur := x
+	for _, r := range plan {
+		sub, err := net.Shard(r)
+		if err != nil {
+			t.Fatalf("Shard(%v): %v", r, err)
+		}
+		if sub.InputSize() != net.Layers[r.From].InShape().Size() {
+			t.Fatalf("shard %v InputSize %d, want %d", r, sub.InputSize(), net.Layers[r.From].InShape().Size())
+		}
+		cur, err = sub.Forward(cur, batch, false)
+		if err != nil {
+			t.Fatalf("shard %v Forward: %v", r, err)
+		}
+	}
+	if len(cur) != len(want) {
+		t.Fatalf("sharded output length %d, want %d", len(cur), len(want))
+	}
+	for i := range want {
+		if cur[i] != want[i] {
+			t.Fatalf("sharded output differs at %d: %v vs %v", i, cur[i], want[i])
+		}
+	}
+
+	// ForwardRange over the whole network is the full forward.
+	all, err := net.ForwardRange(x, batch, ShardRange{From: 0, To: len(net.Layers)}, false)
+	if err != nil {
+		t.Fatalf("ForwardRange: %v", err)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("ForwardRange differs at %d", i)
+		}
+	}
+}
+
+// TestParamLayersBefore counts only parameter-carrying layers.
+func TestParamLayersBefore(t *testing.T) {
+	net := shardTestNet(t)
+	count := 0
+	for i, l := range net.Layers {
+		if got := net.ParamLayersBefore(i); got != count {
+			t.Fatalf("ParamLayersBefore(%d) = %d, want %d", i, got, count)
+		}
+		if len(l.Params()) > 0 {
+			count++
+		}
+	}
+}
+
+// TestShardRangeValidation rejects malformed ranges and bounds.
+func TestShardRangeValidation(t *testing.T) {
+	net := shardTestNet(t)
+	for _, r := range []ShardRange{{From: -1, To: 1}, {From: 2, To: 2}, {From: 0, To: len(net.Layers) + 1}} {
+		if _, err := net.Shard(r); err == nil {
+			t.Fatalf("Shard(%v) accepted an invalid range", r)
+		}
+	}
+	if _, err := net.PlanShards(0, 1); err == nil {
+		t.Fatal("PlanShards(0) accepted a non-positive bound")
+	}
+}

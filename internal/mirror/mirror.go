@@ -312,15 +312,27 @@ func (m *Model) matches(paramLayers [][][]float32) error {
 		return fmt.Errorf("%w: %d persistent layers, %d network layers",
 			ErrShapeMismatch, len(m.layers), len(paramLayers))
 	}
+	return m.matchesFrom(paramLayers, 0)
+}
+
+// matchesFrom checks paramLayers against the persistent layer nodes
+// starting at node index from — the shard-restore shape check, where
+// paramLayers is one contiguous slice of the full model's layers.
+func (m *Model) matchesFrom(paramLayers [][][]float32, from int) error {
+	if from < 0 || from+len(paramLayers) > len(m.layers) {
+		return fmt.Errorf("%w: layers [%d,%d) of %d persistent",
+			ErrShapeMismatch, from, from+len(paramLayers), len(m.layers))
+	}
 	for li, params := range paramLayers {
-		if len(params) != len(m.layers[li].bufs) {
+		node := m.layers[from+li]
+		if len(params) != len(node.bufs) {
 			return fmt.Errorf("%w: layer %d has %d buffers, persistent %d",
-				ErrShapeMismatch, li, len(params), len(m.layers[li].bufs))
+				ErrShapeMismatch, from+li, len(params), len(node.bufs))
 		}
 		for bi, p := range params {
-			if engine.SealedLen(4*len(p)) != m.layers[li].bufs[bi].sealedLen {
+			if engine.SealedLen(4*len(p)) != node.bufs[bi].sealedLen {
 				return fmt.Errorf("%w: layer %d buffer %d sealed size %d vs %d",
-					ErrShapeMismatch, li, bi, engine.SealedLen(4*len(p)), m.layers[li].bufs[bi].sealedLen)
+					ErrShapeMismatch, from+li, bi, engine.SealedLen(4*len(p)), node.bufs[bi].sealedLen)
 			}
 		}
 	}
@@ -366,13 +378,33 @@ func (m *Model) MirrorIn(net *darknet.Network) (int, error) {
 	if err := m.matches(paramLayers); err != nil {
 		return 0, err
 	}
+	return m.mirrorInFrom(net, paramLayers, 0)
+}
+
+// MirrorInRange restores only the slice of the persistent model whose
+// layer nodes start at index from — the shard-restore path: net is a
+// shard sub-network whose parameter layers correspond to persistent
+// nodes [from, from+n), and only that range's sealed buffers are read,
+// decrypted and installed. The persisted iteration counter (shared by
+// the whole snapshot) is installed into net and returned.
+func (m *Model) MirrorInRange(net *darknet.Network, from int) (int, error) {
+	paramLayers := collectParamLayers(net)
+	if err := m.matchesFrom(paramLayers, from); err != nil {
+		return 0, err
+	}
+	return m.mirrorInFrom(net, paramLayers, from)
+}
+
+// mirrorInFrom is the shared restore loop of MirrorIn and
+// MirrorInRange; the shape has already been checked.
+func (m *Model) mirrorInFrom(net *darknet.Network, paramLayers [][][]float32, from int) (int, error) {
 	iter, err := m.rom.LoadUint64(m.headOff + modelHdrIter)
 	if err != nil {
 		return 0, err
 	}
 	m.lastOpen = 0
 	for li, params := range paramLayers {
-		node := m.layers[li]
+		node := m.layers[from+li]
 		for bi, p := range params {
 			n := node.bufs[bi].sealedLen
 			if cap(m.readBuf) < n {

@@ -15,7 +15,7 @@
 //
 // Persistent layout (root slot RootPublished, little-endian uint64):
 //
-//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff, regionSize}
+//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff, regionSize} | manifestOff | manifestCap
 //
 // Slot model regions reuse the mirror's layer-list layout. The
 // recorded regionSize makes slot recycling shape-proof: Romulus has no
@@ -54,7 +54,16 @@ const (
 	// replicas.
 	maxPubSlots = 8
 
-	pubHdrSize = pubHdrSlots + maxPubSlots*pubSlotEntry
+	// Shard manifest pointer, stored alongside the slot table: the PM
+	// offset and entry capacity of the manifest region recording how a
+	// shard group splits published snapshots into per-shard layer-node
+	// ranges (manifest region: count | cap x {fromNode, toNode}).
+	pubHdrManifestOff = pubHdrSlots + maxPubSlots*pubSlotEntry
+	pubHdrManifestCap = pubHdrManifestOff + 8
+
+	pubHdrSize = pubHdrManifestCap + 8
+
+	manifestEntrySize = 16 // fromNode(8) + toNode(8)
 )
 
 // Publication errors.
@@ -388,6 +397,105 @@ func (pin *Pin) Open(eng *engine.Engine, opts ...Option) (*Model, error) {
 		return nil, errSlotSuperseded
 	}
 	return openModelAt(pin.pub.rom, eng, off, opts...)
+}
+
+// ShardManifestEntry records one shard of a serving plan: the
+// half-open range [From, To) of network layer indices the shard owns.
+// Layer ranges (not persistent-node ranges) are recorded because they
+// uniquely determine the split — parameter-less layers at a boundary
+// would make node ranges ambiguous — and the node offsets a restore
+// needs follow from them.
+type ShardManifestEntry struct {
+	From, To int
+}
+
+// RecordShardManifest persists the shard plan alongside the
+// publication slots in one durable transaction, so a shard group
+// re-created after a crash restores exactly the ranges the previous
+// incarnation used (core reads it back when auto-planning). An
+// existing manifest region is rewritten in place
+// when the new plan fits its capacity; a larger plan gets a fresh
+// region (the old one is abandoned to the bump allocator, like any
+// outgrown slot region). The caller serializes PM access, as with
+// every other romulus use.
+func (p *Publication) RecordShardManifest(entries []ShardManifestEntry) error {
+	if len(entries) == 0 {
+		return errors.New("mirror: empty shard manifest")
+	}
+	off, err := p.rom.LoadUint64(p.hdrOff + pubHdrManifestOff)
+	if err != nil {
+		return err
+	}
+	capEntries, err := p.rom.LoadUint64(p.hdrOff + pubHdrManifestCap)
+	if err != nil {
+		return err
+	}
+	return p.rom.Update(func() error {
+		if off == 0 || int(capEntries) < len(entries) {
+			region, err := p.rom.Alloc(8 + manifestEntrySize*len(entries))
+			if err != nil {
+				return err
+			}
+			off = uint64(region)
+			capEntries = uint64(len(entries))
+			if err := p.rom.StoreUint64(p.hdrOff+pubHdrManifestOff, off); err != nil {
+				return err
+			}
+			if err := p.rom.StoreUint64(p.hdrOff+pubHdrManifestCap, capEntries); err != nil {
+				return err
+			}
+		}
+		if err := p.rom.StoreUint64(int(off), uint64(len(entries))); err != nil {
+			return err
+		}
+		for i, e := range entries {
+			entry := int(off) + 8 + manifestEntrySize*i
+			if err := p.rom.StoreUint64(entry, uint64(e.From)); err != nil {
+				return err
+			}
+			if err := p.rom.StoreUint64(entry+8, uint64(e.To)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ShardManifest reads the persisted shard plan, nil if none has been
+// recorded. The caller serializes PM access.
+func (p *Publication) ShardManifest() ([]ShardManifestEntry, error) {
+	off, err := p.rom.LoadUint64(p.hdrOff + pubHdrManifestOff)
+	if err != nil {
+		return nil, err
+	}
+	if off == 0 {
+		return nil, nil
+	}
+	count, err := p.rom.LoadUint64(int(off))
+	if err != nil {
+		return nil, err
+	}
+	capEntries, err := p.rom.LoadUint64(p.hdrOff + pubHdrManifestCap)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > capEntries {
+		return nil, fmt.Errorf("%w: manifest count %d, capacity %d", ErrPubCorrupt, count, capEntries)
+	}
+	entries := make([]ShardManifestEntry, count)
+	for i := range entries {
+		entry := int(off) + 8 + manifestEntrySize*i
+		from, err := p.rom.LoadUint64(entry)
+		if err != nil {
+			return nil, err
+		}
+		to, err := p.rom.LoadUint64(entry + 8)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = ShardManifestEntry{From: int(from), To: int(to)}
+	}
+	return entries, nil
 }
 
 // Release drops the hold, allowing the slot to be recycled once the

@@ -74,6 +74,17 @@ const (
 // EPCPressure.
 const WorkersAuto = -1
 
+// ShardAuto, as Options.Shards, shards the model automatically: when
+// even a single whole-model replica would not fit the host's remaining
+// EPC headroom, the server serves through a core.ShardGroup pipeline —
+// the model split into contiguous layer ranges, each in its own small
+// shard enclave, hot ranges bounded to the headroom and parked ranges
+// streamed back from the pinned published snapshot in PM — instead of
+// a monolithic replica that would push the whole host over the paging
+// knee. When a replica fits, ShardAuto behaves exactly like the
+// whole-model replica pool.
+const ShardAuto = -1
+
 // Options parameterises a Server.
 type Options struct {
 	// Workers is the number of enclave inference replicas (default 1).
@@ -101,6 +112,17 @@ type Options struct {
 	// an overcommitted host keeps serving, just slower (every enclave
 	// touch pays the shared paging knee).
 	MaxEPCPressure float64
+	// Shards selects sharded serving: 0 (default) serves whole-model
+	// replicas; a positive count pipelines the model across at most
+	// that many shard enclaves (core.ShardGroup); ShardAuto shards
+	// only when a whole replica exceeds the host's EPC headroom. In
+	// shard mode Workers is ignored — the pool is one pipelined group,
+	// and the worker count is its residency window.
+	Shards int
+	// ShardOverheadBytes is the parked per-shard-enclave working set
+	// in shard mode (default core.DefaultShardOverheadBytes). Small
+	// hosts shard at finer granularity with a smaller overhead.
+	ShardOverheadBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -183,6 +205,8 @@ type Server struct {
 	host      *enclave.Host
 	inputSize int
 	replicas  []*core.Replica
+	group     *core.ShardGroup // non-nil in shard mode; replicas empty
+	workers   int
 
 	reqCh   chan *request
 	batchCh chan []*request
@@ -236,9 +260,6 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 			return nil, fmt.Errorf("serve: publish model to PM: %w", err)
 		}
 	}
-	if opts.Workers == WorkersAuto {
-		opts.Workers = autoWorkers(f)
-	}
 	s := &Server{
 		opts:      opts,
 		f:         f,
@@ -246,6 +267,49 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 		inputSize: f.Net.InputSize(),
 		reqCh:     make(chan *request, opts.QueueDepth),
 		batchCh:   make(chan []*request),
+	}
+
+	// Sharded serving: explicit Options.Shards, or ShardAuto when even
+	// one whole-model replica would blow past the host's remaining EPC
+	// headroom — the regime where a monolithic pool would drag every
+	// co-located enclave over the paging knee.
+	sharded := opts.Shards > 0
+	if opts.Shards == ShardAuto {
+		fp := f.ReplicaFootprint()
+		sharded = fp > 0 && fp > f.Host.Headroom()
+	}
+	if sharded {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("serve: cancelled building shard group: %w", err)
+		}
+		so := core.ShardOptions{
+			Batch:         opts.MaxBatch,
+			Seed:          opts.Seed,
+			OverheadBytes: opts.ShardOverheadBytes,
+		}
+		if opts.Shards > 0 {
+			so.Shards = opts.Shards
+		}
+		g, err := f.NewShardGroup(so)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard group: %w", err)
+		}
+		s.group = g
+		s.workers = g.Window()
+		s.iter.Store(int64(g.Iteration()))
+		s.ver.Store(g.Version())
+		s.stats.start = time.Now()
+		s.wg.Add(1 + s.workers)
+		go s.batcher()
+		for i := 0; i < s.workers; i++ {
+			go s.shardWorker(i)
+		}
+		return s, nil
+	}
+
+	if opts.Workers == WorkersAuto {
+		opts.Workers = autoWorkers(f)
+		s.opts.Workers = opts.Workers
 	}
 	for i := 0; i < opts.Workers; i++ {
 		if err := ctx.Err(); err != nil {
@@ -263,6 +327,7 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 		}
 		s.replicas = append(s.replicas, rep)
 	}
+	s.workers = opts.Workers
 	s.iter.Store(int64(s.replicas[0].Iteration()))
 	s.ver.Store(ver)
 	s.stats.start = time.Now()
@@ -393,12 +458,59 @@ func (s *Server) batcher() {
 	}
 }
 
-// worker serves micro-batches on one enclave replica: drop requests
-// that expired while the batch waited, copy the live images into the
-// contiguous batch buffer, one network forward in the replica enclave,
-// then deliver per-request results. Control calls (refresh, rotate)
-// run in the same loop, so they never race with classification on this
-// replica.
+// serveBatch runs one micro-batch through classify and delivers
+// per-request results: requests that expired while the batch waited
+// are dropped, the live images are copied into the contiguous batch
+// buffer buf, and every live request gets its prediction (stamped with
+// the post-classification version) or the batch error. live is reused
+// across calls; the possibly-regrown slice is returned.
+func (s *Server) serveBatch(id int, batch, live []*request, buf []float32,
+	classify func([]float32) ([]int, error), version func() uint64) []*request {
+	live = live[:0]
+	for _, req := range batch {
+		if req.ctx.Err() != nil {
+			s.stats.recordExpired()
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return live
+	}
+	n := len(live)
+	for i, req := range live {
+		copy(buf[i*s.inputSize:(i+1)*s.inputSize], req.image)
+	}
+	classes, err := classify(buf[:n*s.inputSize])
+	now := time.Now()
+	var ver uint64
+	if err == nil {
+		ver = version()
+	}
+	for i, req := range live {
+		if err != nil {
+			req.done <- result{err: err}
+			continue
+		}
+		pred := Prediction{
+			Class:        classes[i],
+			Latency:      now.Sub(req.enq),
+			BatchSize:    n,
+			Worker:       id,
+			ModelVersion: ver,
+		}
+		s.stats.record(pred)
+		req.done <- result{pred: pred}
+	}
+	if err == nil {
+		s.stats.recordBatch()
+	}
+	return live
+}
+
+// worker serves micro-batches on one enclave replica. Control calls
+// (refresh, rotate) run in the same loop, so they never race with
+// classification on this replica.
 func (s *Server) worker(id int, rep *core.Replica, ctl <-chan ctlCall) {
 	defer s.wg.Done()
 	buf := make([]float32, s.opts.MaxBatch*s.inputSize)
@@ -409,41 +521,7 @@ func (s *Server) worker(id int, rep *core.Replica, ctl <-chan ctlCall) {
 			if !ok {
 				return
 			}
-			live = live[:0]
-			for _, req := range batch {
-				if req.ctx.Err() != nil {
-					s.stats.recordExpired()
-					continue
-				}
-				live = append(live, req)
-			}
-			if len(live) == 0 {
-				continue
-			}
-			n := len(live)
-			for i, req := range live {
-				copy(buf[i*s.inputSize:(i+1)*s.inputSize], req.image)
-			}
-			classes, err := rep.ClassifyBatch(buf[:n*s.inputSize])
-			now := time.Now()
-			for i, req := range live {
-				if err != nil {
-					req.done <- result{err: err}
-					continue
-				}
-				pred := Prediction{
-					Class:        classes[i],
-					Latency:      now.Sub(req.enq),
-					BatchSize:    n,
-					Worker:       id,
-					ModelVersion: rep.Version(),
-				}
-				s.stats.record(pred)
-				req.done <- result{pred: pred}
-			}
-			if err == nil {
-				s.stats.recordBatch()
-			}
+			live = s.serveBatch(id, batch, live, buf, rep.ClassifyBatch, rep.Version)
 		case call := <-ctl:
 			var reply ctlReply
 			switch call.kind {
@@ -458,9 +536,22 @@ func (s *Server) worker(id int, rep *core.Replica, ctl <-chan ctlCall) {
 	}
 }
 
+// shardWorker serves micro-batches through the shard-group pipeline:
+// several workers submit concurrently, so shard k processes batch i+1
+// while shard k+1 processes batch i. Per-request semantics (expired
+// drops, latency, stats) are serveBatch's, same as the replica worker.
+func (s *Server) shardWorker(id int) {
+	defer s.wg.Done()
+	buf := make([]float32, s.opts.MaxBatch*s.inputSize)
+	live := make([]*request, 0, s.opts.MaxBatch)
+	for batch := range s.batchCh {
+		live = s.serveBatch(id, batch, live, buf, s.group.ClassifyBatch, s.group.Version)
+	}
+}
+
 // Close stops accepting requests, serves everything already queued or
-// in flight, tears down the replicas and returns. Subsequent Classify
-// and Close calls return ErrClosed.
+// in flight, tears down the replicas (or the shard group) and returns.
+// Subsequent Classify and Close calls return ErrClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -472,6 +563,9 @@ func (s *Server) Close() error {
 
 	close(s.reqCh)
 	s.wg.Wait()
+	if s.group != nil {
+		return s.group.Close()
+	}
 	var firstErr error
 	for _, r := range s.replicas {
 		if err := r.Close(); err != nil && firstErr == nil {
@@ -481,8 +575,34 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
-// Workers returns the number of enclave replicas.
-func (s *Server) Workers() int { return len(s.replicas) }
+// Workers returns the number of serving workers: enclave replicas, or
+// in shard mode the pipeline's residency window.
+func (s *Server) Workers() int { return s.workers }
+
+// Shards returns the number of shard enclaves the model is pipelined
+// across, 0 when serving whole-model replicas.
+func (s *Server) Shards() int {
+	if s.group == nil {
+		return 0
+	}
+	return s.group.Shards()
+}
+
+// ShardsStreaming reports whether the shard pipeline streams parked
+// layer ranges from PM per batch (the over-headroom regime). Always
+// false when serving whole-model replicas.
+func (s *Server) ShardsStreaming() bool {
+	return s.group != nil && s.group.Streaming()
+}
+
+// ShardRestores counts layer-range restores from PM by the shard
+// pipeline — the streaming mode's alternative currency to page faults.
+func (s *Server) ShardRestores() uint64 {
+	if s.group == nil {
+		return 0
+	}
+	return s.group.Restores()
+}
 
 // Iteration returns the training iteration of the served model.
 func (s *Server) Iteration() int { return int(s.iter.Load()) }
@@ -541,12 +661,42 @@ func (s *Server) broadcast(ctx context.Context, kind ctlKind) (int, uint64, erro
 func (s *Server) Refresh(ctx context.Context) (int, error) {
 	s.ctlMu.Lock()
 	defer s.ctlMu.Unlock()
+	if s.group != nil {
+		iter, err := s.groupControl(ctx, s.group.Refresh)
+		if err != nil {
+			return 0, err
+		}
+		return iter, nil
+	}
 	iter, version, err := s.broadcast(ctx, ctlRefresh)
 	if err != nil {
 		return 0, err
 	}
 	s.iter.Store(int64(iter))
 	s.ver.Store(version)
+	return iter, nil
+}
+
+// groupControl runs one shard-group control operation (Refresh or
+// Rotate) under the server's closed check. The group quiesces its own
+// pipeline — queued requests wait, none are dropped — because the
+// shards of one model must change version together: a half-refreshed
+// pipeline would mix two versions inside a single forward pass.
+func (s *Server) groupControl(ctx context.Context, op func() (int, error)) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	iter, err := op()
+	if err != nil {
+		return 0, err
+	}
+	s.iter.Store(int64(iter))
+	s.ver.Store(s.group.Version())
 	return iter, nil
 }
 
@@ -571,6 +721,12 @@ func (s *Server) RotateKey(ctx context.Context) (uint64, error) {
 	}
 	if _, err := s.f.RotateKey(); err != nil {
 		return 0, err
+	}
+	if s.group != nil {
+		if _, err := s.groupControl(ctx, s.group.Rotate); err != nil {
+			return 0, err
+		}
+		return s.ver.Load(), nil
 	}
 	iter, version, err := s.broadcast(ctx, ctlRotate)
 	if err != nil {

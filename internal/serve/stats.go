@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"math"
+	"math/bits"
 	"sync"
 	"time"
 )
@@ -35,11 +37,24 @@ type Stats struct {
 	// the server (enqueue to classification).
 	AvgLatency time.Duration
 	MaxLatency time.Duration
+	// P50Latency, P95Latency and P99Latency are latency percentiles
+	// from a fixed power-of-two-bucket histogram: each is the upper
+	// bound of the bucket holding the percentile, so values are exact
+	// to within a factor of two — constant memory however many
+	// requests are served.
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
 	// Throughput is requests per second since the server started.
 	Throughput float64
 	// Uptime is the time since the server started.
 	Uptime time.Duration
 }
+
+// latBuckets is the size of the latency histogram: bucket i counts
+// requests with latency in ((1<<(i-1)) µs, (1<<i) µs], so the top
+// bucket's bound exceeds 9 hours — effectively unbounded.
+const latBuckets = 36
 
 // statsCollector accumulates counters across worker goroutines.
 type statsCollector struct {
@@ -52,6 +67,16 @@ type statsCollector struct {
 	batches  uint64
 	latSum   time.Duration
 	latMax   time.Duration
+	latHist  [latBuckets]uint64
+}
+
+// latBucket maps a latency to its histogram bucket.
+func latBucket(d time.Duration) int {
+	b := bits.Len64(uint64(d / time.Microsecond))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
 }
 
 func (c *statsCollector) record(p Prediction) {
@@ -61,6 +86,7 @@ func (c *statsCollector) record(p Prediction) {
 	if p.Latency > c.latMax {
 		c.latMax = p.Latency
 	}
+	c.latHist[latBucket(p.Latency)]++
 	c.mu.Unlock()
 }
 
@@ -105,9 +131,40 @@ func (c *statsCollector) snapshot() Stats {
 	if c.requests > 0 {
 		s.AvgLatency = c.latSum / time.Duration(c.requests)
 		s.MaxLatency = c.latMax
+		s.P50Latency = c.percentileLocked(0.50)
+		s.P95Latency = c.percentileLocked(0.95)
+		s.P99Latency = c.percentileLocked(0.99)
 		if secs := s.Uptime.Seconds(); secs > 0 {
 			s.Throughput = float64(c.requests) / secs
 		}
 	}
 	return s
+}
+
+// percentileLocked returns the upper bound of the histogram bucket
+// holding percentile p — nearest-rank, i.e. the ceil(p*n)-th smallest
+// latency, so a tail outlier is never skipped at small request counts.
+// Called with c.mu held and c.requests > 0.
+func (c *statsCollector) percentileLocked(p float64) time.Duration {
+	rank := uint64(math.Ceil(p * float64(c.requests)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range c.latHist {
+		cum += n
+		if cum >= rank {
+			bound := time.Microsecond
+			if i > 0 {
+				bound = time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+			}
+			// The top populated bucket's bound can overshoot the true
+			// maximum; the observed max is a tighter upper bound.
+			if bound > c.latMax {
+				bound = c.latMax
+			}
+			return bound
+		}
+	}
+	return c.latMax
 }

@@ -111,16 +111,34 @@ var (
 // construction.
 func New(cfg Config) (*Framework, error) { return core.New(cfg) }
 
+// HostOption configures a Host built with NewHost.
+type HostOption = enclave.HostOption
+
+// WithHostEPC overrides a host's usable-EPC budget (default the
+// paper's 93.5 MiB) — smaller serving machines, or bigger ice-lake
+// class ones.
+func WithHostEPC(n int) HostOption { return enclave.WithHostEPC(n) }
+
 // NewHost creates a machine to co-locate frameworks on: every enclave
 // created on it (pass the host via Config.Host) shares one usable-EPC
 // budget, so jointly overcommitting tenants pay the shared paging knee
 // even when each fits alone. Frameworks built without Config.Host get
 // a private host — the paper's one-enclave-per-machine setup.
-func NewHost(p ServerProfile) *Host { return enclave.NewHost(p.Enclave) }
+func NewHost(p ServerProfile, opts ...HostOption) *Host {
+	return enclave.NewHost(p.Enclave, opts...)
+}
 
 // WorkersAuto, as ServerOptions.Workers, sizes the replica pool from
 // the EPC headroom remaining on the framework's host.
 const WorkersAuto = serve.WorkersAuto
+
+// ShardAuto, as ServerOptions.Shards, pipelines the model across shard
+// enclaves whenever a whole-model replica would exceed the host's EPC
+// headroom: the model is split into contiguous layer ranges, hot
+// ranges are bounded to the headroom, and parked ranges stream back
+// from the pinned published snapshot in PM — so an over-EPC model
+// serves without dragging the host over the paging knee.
+const ShardAuto = serve.ShardAuto
 
 // SGXEmlPM returns the paper's sgx-emlPM server profile (real SGX, PM
 // emulated on a ramdisk).
@@ -192,16 +210,24 @@ type (
 	ServerStats = serve.Stats
 	// Replica is a single enclave inference worker.
 	Replica = core.Replica
+	// ShardGroup pipelines one model across several shard enclaves,
+	// each owning a contiguous layer range (Framework.NewShardGroup).
+	ShardGroup = core.ShardGroup
+	// ShardOptions parameterises Framework.NewShardGroup.
+	ShardOptions = core.ShardOptions
+	// ShardRange is a contiguous layer range of a sharded model.
+	ShardRange = darknet.ShardRange
 )
 
 // Serving errors re-exported for matching with errors.Is.
 var (
-	ErrServerClosed    = serve.ErrClosed
-	ErrBadImage        = serve.ErrBadImage
-	ErrOverloaded      = serve.ErrOverloaded
-	ErrEPCPressure     = serve.ErrEPCPressure
-	ErrNotServable     = serve.ErrNotServable
-	ErrNoServableModel = core.ErrNoServableModel
+	ErrServerClosed     = serve.ErrClosed
+	ErrBadImage         = serve.ErrBadImage
+	ErrOverloaded       = serve.ErrOverloaded
+	ErrEPCPressure      = serve.ErrEPCPressure
+	ErrNotServable      = serve.ErrNotServable
+	ErrNoServableModel  = core.ErrNoServableModel
+	ErrShardGroupClosed = core.ErrShardGroupClosed
 )
 
 // Serve publishes f's current model to PM as an immutable versioned
