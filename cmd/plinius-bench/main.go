@@ -8,10 +8,17 @@
 //	plinius-bench -exp fig7 -quick    # scaled-down fast run
 //
 // Experiments: fig2, fig6, fig7, table1a, table1b, fig8, fig9, fig10,
-// inference, tcb, freq, coloc, shard, all.
+// inference, tcb, freq, coloc, shard, perf, all.
+//
+// -exp perf additionally writes a machine-readable snapshot of the
+// parallel hot-path metrics (training iterations/s, seal GB/s, sharded
+// P95) to the file named by -json (default BENCH_5.json), so the perf
+// trajectory is tracked across PRs. Only the explicit -exp perf run
+// writes the file; -exp all prints the table without the side effect.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +27,32 @@ import (
 	"plinius/internal/experiments"
 )
 
+// jsonOut is the -json flag: where -exp perf writes its snapshot.
+// Cleared when perf runs as part of -exp all with no explicit -json,
+// so the figure sweep has no file side effects by default.
+var jsonOut string
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|perf|all)")
 	quick := flag.Bool("quick", false, "scaled-down parameters for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	root := flag.String("root", ".", "repository root (for -exp tcb)")
+	flag.StringVar(&jsonOut, "json", "BENCH_5.json", "output file for the -exp perf machine-readable snapshot")
 	flag.Parse()
+
+	// -exp all suppresses the perf JSON side effect unless the user
+	// asked for it explicitly with -json.
+	if *exp == "all" {
+		jsonExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "json" {
+				jsonExplicit = true
+			}
+		})
+		if !jsonExplicit {
+			jsonOut = ""
+		}
+	}
 
 	if err := run(*exp, *quick, *seed, *root); err != nil {
 		fmt.Fprintln(os.Stderr, "plinius-bench:", err)
@@ -48,9 +75,10 @@ func run(exp string, quick bool, seed int64, root string) error {
 		"freq":      runFreq,
 		"coloc":     runColoc,
 		"shard":     runShard,
+		"perf":      runPerf,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard"}
+		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard", "perf"}
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](quick, seed, root); err != nil {
@@ -250,6 +278,26 @@ func runShard(quick bool, seed int64, _ string) error {
 		return err
 	}
 	res.Print(os.Stdout)
+	return nil
+}
+
+func runPerf(quick bool, seed int64, _ string) error {
+	res, err := experiments.RunPerf(experiments.PerfConfig{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	if jsonOut == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", jsonOut, err)
+	}
+	fmt.Printf("wrote %s\n", jsonOut)
 	return nil
 }
 

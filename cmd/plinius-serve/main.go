@@ -202,25 +202,28 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := srv.Stats()
 		json.NewEncoder(w).Encode(map[string]any{
-			"requests":            st.Requests,
-			"rejected":            st.Rejected,
-			"expired":             st.Expired,
-			"epc_shed":            st.EPCShed,
-			"epc_pressure":        st.EPCPressure,
-			"host_resident_bytes": st.HostResidentBytes,
-			"batches":             st.Batches,
-			"avg_batch":           st.AvgBatch,
-			"avg_latency_us":      st.AvgLatency.Microseconds(),
-			"p50_latency_us":      st.P50Latency.Microseconds(),
-			"p95_latency_us":      st.P95Latency.Microseconds(),
-			"p99_latency_us":      st.P99Latency.Microseconds(),
-			"max_latency_us":      st.MaxLatency.Microseconds(),
-			"req_per_sec":         st.Throughput,
-			"uptime_sec":          st.Uptime.Seconds(),
-			"model_version":       srv.Version(),
-			"shards":              srv.Shards(),
-			"shard_streaming":     srv.ShardsStreaming(),
-			"shard_pm_restores":   srv.ShardRestores(),
+			"requests":             st.Requests,
+			"rejected":             st.Rejected,
+			"expired":              st.Expired,
+			"epc_shed":             st.EPCShed,
+			"epc_pressure":         st.EPCPressure,
+			"host_resident_bytes":  st.HostResidentBytes,
+			"batches":              st.Batches,
+			"avg_batch":            st.AvgBatch,
+			"avg_latency_us":       st.AvgLatency.Microseconds(),
+			"p50_latency_us":       st.P50Latency.Microseconds(),
+			"p95_latency_us":       st.P95Latency.Microseconds(),
+			"p99_latency_us":       st.P99Latency.Microseconds(),
+			"max_latency_us":       st.MaxLatency.Microseconds(),
+			"req_per_sec":          st.Throughput,
+			"uptime_sec":           st.Uptime.Seconds(),
+			"model_version":        srv.Version(),
+			"shards":               srv.Shards(),
+			"shard_streaming":      srv.ShardsStreaming(),
+			"shard_pm_restores":    st.ShardRestores,
+			"shard_stalls":         st.ShardStalls,
+			"shard_prefetch_waits": st.ShardPrefetchWaits,
+			"shard_prefetched":     st.ShardPrefetched,
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"plinius/internal/enclave"
+)
+
+// streamingGroup builds a shard group on a dedicated serving host
+// whose budget forces streaming but leaves room for double-buffering
+// (two hot ranges plus overheads).
+func streamingGroup(t *testing.T, f *Framework, budget int, disablePrefetch bool, seed int64) (*ShardGroup, *enclave.Host) {
+	t.Helper()
+	host := enclave.NewHost(f.Host.Profile(), enclave.WithHostEPC(budget))
+	g, err := f.NewShardGroup(ShardOptions{
+		Host:            host,
+		Batch:           2,
+		OverheadBytes:   8 << 10,
+		Seed:            seed,
+		DisablePrefetch: disablePrefetch,
+	})
+	if err != nil {
+		t.Fatalf("NewShardGroup: %v", err)
+	}
+	if !g.Streaming() {
+		t.Fatalf("group not streaming on a %d-byte host (plan %v)", budget, g.Plan())
+	}
+	return g, host
+}
+
+// TestShardGroupPrefetchOverlapsRestores: with double-buffered restore
+// enabled the pipeline takes strictly fewer full stalls than with it
+// disabled, answers identically, and still pays zero page faults —
+// the prefetcher charges its reservations against the host headroom,
+// so the residency bound holds.
+func TestShardGroupPrefetchOverlapsRestores(t *testing.T) {
+	f, test := trainedShardFramework(t, 4)
+	// Roomy enough that the headroom gate admits prefetches (two hot
+	// ranges at once), tight enough that the plan still streams.
+	budget := 192 << 10
+
+	gOff, hostOff := streamingGroup(t, f, budget, true, 5)
+	off := groupClassifyAll(t, gOff, test, 2)
+	offStalls, offPrefetched := gOff.Stalls(), gOff.PrefetchedRestores()
+	if err := gOff.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if offPrefetched != 0 {
+		t.Fatalf("DisablePrefetch group prefetched %d restores", offPrefetched)
+	}
+	if offStalls == 0 {
+		t.Fatal("no stalls without prefetch; test host not tight enough")
+	}
+
+	gOn, hostOn := streamingGroup(t, f, budget, false, 5)
+	on := groupClassifyAll(t, gOn, test, 2)
+	onStalls, onPrefetched := gOn.Stalls(), gOn.PrefetchedRestores()
+	if err := gOn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	for i := range off {
+		if off[i] != on[i] {
+			t.Fatalf("class[%d]: prefetch-off %d, prefetch-on %d", i, off[i], on[i])
+		}
+	}
+	if onPrefetched == 0 {
+		t.Fatal("prefetcher never ran; headroom gate too tight for the test host")
+	}
+	if onStalls >= offStalls {
+		t.Fatalf("prefetch did not reduce stalls: %d with, %d without", onStalls, offStalls)
+	}
+	if s := hostOn.Stats(); s.PageSwaps != 0 {
+		t.Fatalf("prefetching group paid %d faults; want 0 under the knee", s.PageSwaps)
+	}
+	if s := hostOff.Stats(); s.PageSwaps != 0 {
+		t.Fatalf("no-prefetch group paid %d faults; want 0 under the knee", s.PageSwaps)
+	}
+}
+
+// TestShardGroupPrefetchQuiescesOnRefresh drives concurrent classify
+// traffic while Refresh and Rotate flip versions: the prefetcher must
+// quiesce with the pipeline (no background restore may read a handle
+// being swapped), every batch must answer, and the group must stay
+// coherent. Run with -race.
+func TestShardGroupPrefetchQuiescesOnRefresh(t *testing.T) {
+	f, test := trainedShardFramework(t, 4)
+	g, _ := streamingGroup(t, f, 192<<10, false, 7)
+	defer g.Close()
+
+	in := g.InputSize()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				img := test.Images[(i%test.N)*in : (i%test.N+1)*in]
+				if _, err := g.ClassifyBatch(img); err != nil {
+					t.Errorf("ClassifyBatch: %v", err)
+					return
+				}
+				i += 3
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		if err := f.TrainIters(1, nil); err != nil {
+			t.Fatalf("TrainIters: %v", err)
+		}
+		if _, err := f.Publish(); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		if _, err := g.Refresh(); err != nil {
+			t.Fatalf("Refresh: %v", err)
+		}
+	}
+	if _, err := f.RotateKey(); err != nil {
+		t.Fatalf("RotateKey: %v", err)
+	}
+	if _, err := g.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if g.Iteration() != f.Iteration() {
+		t.Fatalf("group iter %d, framework %d", g.Iteration(), f.Iteration())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	mrand "math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"plinius/internal/darknet"
 	"plinius/internal/enclave"
@@ -74,6 +75,12 @@ type ShardOptions struct {
 	OverheadBytes int
 	// Seed differentiates the shard enclaves' RNGs.
 	Seed int64
+	// DisablePrefetch turns off double-buffered restores: in streaming
+	// mode, parked shards then re-restore their range only on the
+	// compute path (a pipeline stall per batch per shard), the pre-
+	// prefetch behaviour. For benchmarking the prefetch win; leave
+	// false in production.
+	DisablePrefetch bool
 }
 
 // shard is one pipeline stage: an enclave owning one contiguous layer
@@ -90,8 +97,18 @@ type shard struct {
 	nodeFrom int
 	// footprint is the hot working set: parameters + activations.
 	footprint int
-	hot       bool
 	model     *mirror.Model
+
+	// mu guards the residency state below: the compute path and the
+	// background prefetcher both drive restores.
+	mu  sync.Mutex
+	hot bool
+	// restoring is non-nil while a restore is in flight; it is closed
+	// when the restore finishes. Waiters re-check hot afterwards: a
+	// failed restore leaves hot false and the waiter retries the
+	// restore itself, so failures propagate through the retry, not
+	// through shared error state.
+	restoring chan struct{}
 }
 
 // shardJob is one micro-batch travelling the pipeline.
@@ -123,11 +140,28 @@ type ShardGroup struct {
 	submitMu sync.Mutex // serializes intake; held across quiesce for control ops
 	closed   bool
 
-	mu       sync.Mutex // guards version, iter, restores, pin
-	pin      *mirror.Pin
-	version  uint64
-	iter     int
-	restores uint64
+	mu      sync.Mutex // guards version, iter, pin
+	pin     *mirror.Pin
+	version uint64
+	iter    int
+
+	// Residency/restore counters (atomics: the compute path and the
+	// prefetcher both bump them).
+	restores      atomic.Uint64 // range restores from PM, any path
+	stalls        atomic.Uint64 // full restores on the compute path
+	prefetchWaits atomic.Uint64 // partial waits on an in-flight prefetch
+	prefetched    atomic.Uint64 // restores completed by the prefetcher
+
+	// Double-buffered restore: while shard k computes a batch, a
+	// background goroutine prefetches shard k+1's range so the batch
+	// does not stall on the restore when it arrives. The prefetcher is
+	// headroom-gated — it reserves the range only when the host has
+	// spare usable EPC, so the residency bound (window hot shards) is
+	// never exceeded and the zero-fault regime is preserved.
+	noPrefetch  bool
+	prefetchMu  sync.Mutex // guards prefetchOff and WaitGroup adds
+	prefetchOff bool       // true while quiesced or closed
+	prefetchWG  sync.WaitGroup
 }
 
 // NewShardGroup splits the framework's model into contiguous layer
@@ -187,11 +221,12 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 	}
 
 	g := &ShardGroup{
-		f:         f,
-		host:      host,
-		batch:     batch,
-		inputSize: full.InputSize(),
-		overhead:  overhead,
+		f:          f,
+		host:       host,
+		batch:      batch,
+		inputSize:  full.InputSize(),
+		overhead:   overhead,
+		noPrefetch: opts.DisablePrefetch,
 	}
 	fail := func(err error) (*ShardGroup, error) {
 		for _, s := range g.shards {
@@ -234,17 +269,26 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 
 	// Residency mode: the whole plan resident when it fits what the
 	// host had to offer, else stream ranges from PM with a pipeline
-	// window sized so the hot set stays within the budget. A window of
-	// at least 1 always serves — an oversized single shard overcommits
-	// the host while hot and pays (bounded) pressure, mirroring the
-	// one-replica floor of WorkersAuto.
+	// window sized so the hot set stays within the budget. With
+	// double-buffered restore each in-flight batch may transiently
+	// hold TWO ranges — its stage hot while the next stage prefetches
+	// — so the window halves and the freed budget pays for the
+	// overlap; that keeps the residency bound exact (window x
+	// per-batch demand <= budget) and the zero-fault regime intact. A
+	// window of at least 1 always serves — an oversized single shard
+	// overcommits the host while hot and pays (bounded) pressure,
+	// mirroring the one-replica floor of WorkersAuto.
 	budget := headroom - overhead*len(plan)
 	g.streaming = total > budget
 	g.window = len(plan)
 	if g.streaming {
+		perBatch := maxFootprint
+		if !g.noPrefetch {
+			perBatch = 2 * maxFootprint
+		}
 		w := 0
-		if maxFootprint > 0 {
-			w = budget / maxFootprint
+		if perBatch > 0 {
+			w = budget / perBatch
 		}
 		if w < 1 {
 			w = 1
@@ -419,15 +463,17 @@ func (g *ShardGroup) restoreShard(s *shard, m *mirror.Model) error {
 	})
 }
 
-// ensureHot reserves the shard's range on the host and restores its
-// parameters from the pinned snapshot. Free while the host is under
+// restoreRange brings a parked shard's parameters into its enclave:
+// reserve the range on the host (unless the caller already did) and
+// restore it from the pinned snapshot. Free while the host is under
 // the knee: the restore is a sealed PM read plus in-enclave decrypt.
-func (g *ShardGroup) ensureHot(s *shard) error {
-	if s.hot {
-		return nil
-	}
-	if err := s.encl.Reserve(s.footprint); err != nil {
-		return err
+// Callers must hold the shard's restoring slot (see ensureHot /
+// tryPrefetch); s.mu must NOT be held.
+func (g *ShardGroup) restoreRange(s *shard, reserved bool) error {
+	if !reserved {
+		if err := s.encl.Reserve(s.footprint); err != nil {
+			return err
+		}
 	}
 	g.f.pmMu.Lock()
 	_, err := s.model.MirrorInRange(s.net, s.nodeFrom)
@@ -436,21 +482,133 @@ func (g *ShardGroup) ensureHot(s *shard) error {
 		_ = s.encl.Free(s.footprint)
 		return err
 	}
-	s.hot = true
-	g.mu.Lock()
-	g.restores++
-	g.mu.Unlock()
+	g.restores.Add(1)
 	return nil
+}
+
+// finishRestore publishes a restore's outcome and wakes waiters.
+func (s *shard) finishRestore(err error) {
+	s.mu.Lock()
+	if err == nil {
+		s.hot = true
+	}
+	ch := s.restoring
+	s.restoring = nil
+	s.mu.Unlock()
+	close(ch)
+}
+
+// ensureHot makes the shard's range resident for the compute path,
+// waiting on an in-flight prefetch or — when none is running — doing
+// the restore synchronously. A synchronous restore puts the full
+// restore latency on the critical path (a pipeline stall, counted in
+// Stalls); waiting out a prefetch costs only the restore's unfinished
+// remainder (counted in PrefetchWaits).
+func (g *ShardGroup) ensureHot(s *shard) error {
+	waited := false
+	s.mu.Lock()
+	for {
+		if s.hot {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.restoring
+		if ch == nil {
+			break
+		}
+		if !waited {
+			waited = true
+			g.prefetchWaits.Add(1)
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+		// Loop: on success hot is set; on failure we retry the restore
+		// ourselves below.
+	}
+	s.restoring = make(chan struct{})
+	s.mu.Unlock()
+	if !waited && g.streaming {
+		g.stalls.Add(1)
+	}
+	err := g.restoreRange(s, false)
+	s.finishRestore(err)
+	return err
+}
+
+// tryPrefetch starts a background restore of a parked shard so the
+// batch now computing one stage upstream does not stall on it. The
+// prefetch reserves the range up front and only when the host has
+// headroom for it — residency bounds hold, and a host already at its
+// budget simply skips the prefetch (the compute path restores as
+// before).
+func (g *ShardGroup) tryPrefetch(s *shard) {
+	if g.noPrefetch || !g.streaming {
+		return
+	}
+	g.prefetchMu.Lock()
+	if g.prefetchOff {
+		g.prefetchMu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if s.hot || s.restoring != nil {
+		s.mu.Unlock()
+		g.prefetchMu.Unlock()
+		return
+	}
+	// Charge the prefetch against the host headroom atomically with
+	// the decision: Reserve here, before the restore goroutine runs,
+	// so concurrent prefetchers cannot double-claim the same budget.
+	if g.host.Headroom() < s.footprint || s.encl.Reserve(s.footprint) != nil {
+		s.mu.Unlock()
+		g.prefetchMu.Unlock()
+		return
+	}
+	s.restoring = make(chan struct{})
+	s.mu.Unlock()
+	g.prefetchWG.Add(1)
+	g.prefetchMu.Unlock()
+	go func() {
+		defer g.prefetchWG.Done()
+		err := s.encl.Ecall(func() error { return g.restoreRange(s, true) })
+		if err == nil {
+			g.prefetched.Add(1)
+		}
+		s.finishRestore(err)
+	}()
 }
 
 // park returns the shard's range to the host budget; the parameters
 // must be re-restored from PM before the next batch.
 func (g *ShardGroup) park(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.hot {
 		return
 	}
 	_ = s.encl.Free(s.footprint)
 	s.hot = false
+}
+
+// parkSettled waits out any in-flight restore on s, then parks it —
+// the errored-job cleanup, where no batch is left to consume (and
+// later park) a range that may have been prefetched for the job.
+func (g *ShardGroup) parkSettled(s *shard) {
+	for {
+		s.mu.Lock()
+		ch := s.restoring
+		if ch == nil {
+			if s.hot {
+				_ = s.encl.Free(s.footprint)
+				s.hot = false
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		<-ch
+	}
 }
 
 // run is one shard's stage loop: restore the range if parked, open the
@@ -459,6 +617,12 @@ func (g *ShardGroup) park(s *shard) {
 // classify at the last — then park in streaming mode so the next stage
 // window fits the budget. Errors skip processing but ride the job to
 // completion so ordering and delivery hold.
+//
+// Double-buffering: the moment a job lands on this stage, the next
+// stage's range starts restoring in the background, so by the time the
+// job has been computed and sealed the downstream shard is (ideally)
+// already hot — restore overlaps compute instead of stalling the
+// pipeline between every pair of stages.
 func (g *ShardGroup) run(s *shard) {
 	defer g.wg.Done()
 	last := s.idx == len(g.shards)-1
@@ -468,6 +632,14 @@ func (g *ShardGroup) run(s *shard) {
 	for job := range g.stages[s.idx] {
 		if job.err == nil {
 			job.err = g.process(s, job, last)
+		} else if g.streaming {
+			// The job errored upstream, possibly after prefetching this
+			// stage on its behalf; nothing will process (and park) here,
+			// so return any prefetched range to the budget instead of
+			// leaking it hot against the host headroom. Waits out an
+			// in-flight prefetch first — parking mid-restore would
+			// no-op and orphan the reservation when the restore lands.
+			g.parkSettled(s)
 		}
 		if last {
 			job.done <- job
@@ -485,6 +657,14 @@ func (g *ShardGroup) process(s *shard, job *shardJob, last bool) error {
 		}
 		if g.streaming {
 			defer g.park(s)
+		}
+		// Double-buffer: with this stage hot (its reservation charged,
+		// so the headroom gate sees the true residual budget), start
+		// restoring the next stage's range in the background — the
+		// restore overlaps this stage's compute instead of stalling the
+		// batch when it arrives downstream.
+		if !last {
+			g.tryPrefetch(g.shards[s.idx+1])
 		}
 		var in []float32
 		if s.idx == 0 {
@@ -551,15 +731,24 @@ func (g *ShardGroup) ClassifyBatch(images []float32) ([]int, error) {
 }
 
 // quiesce waits until no batch is in flight by claiming every window
-// token; resume releases them. Callers hold submitMu, so no new batch
-// can slip in between.
+// token, then pauses the prefetcher and waits out any in-flight
+// background restore — control operations must not race a prefetch
+// reading the snapshot handles they are about to swap. Callers hold
+// submitMu, so no new batch (and hence no new prefetch) can slip in.
 func (g *ShardGroup) quiesce() {
 	for i := 0; i < g.window; i++ {
 		g.slots <- struct{}{}
 	}
+	g.prefetchMu.Lock()
+	g.prefetchOff = true
+	g.prefetchMu.Unlock()
+	g.prefetchWG.Wait()
 }
 
 func (g *ShardGroup) resume() {
+	g.prefetchMu.Lock()
+	g.prefetchOff = false
+	g.prefetchMu.Unlock()
 	for i := 0; i < g.window; i++ {
 		<-g.slots
 	}
@@ -746,8 +935,21 @@ func (g *ShardGroup) Iteration() int {
 
 // Restores counts range restores from PM — in streaming mode, the
 // price paid per batch per parked shard instead of the paging knee.
-func (g *ShardGroup) Restores() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.restores
-}
+func (g *ShardGroup) Restores() uint64 { return g.restores.Load() }
+
+// Stalls counts pipeline stalls: batches that arrived at a parked
+// stage with no restore in flight and paid the full range restore on
+// the compute path. With double-buffered restore most batches find
+// their stage hot or mid-restore, so this stays near the per-batch
+// stage-0 floor; with DisablePrefetch it approaches batches x shards.
+func (g *ShardGroup) Stalls() uint64 { return g.stalls.Load() }
+
+// PrefetchWaits counts batches that arrived while their stage's
+// prefetch was still in flight and paid only the unfinished remainder
+// of the restore.
+func (g *ShardGroup) PrefetchWaits() uint64 { return g.prefetchWaits.Load() }
+
+// PrefetchedRestores counts range restores completed by the
+// background prefetcher — restore work overlapped with compute instead
+// of stalling the pipeline.
+func (g *ShardGroup) PrefetchedRestores() uint64 { return g.prefetched.Load() }

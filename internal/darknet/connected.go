@@ -15,6 +15,12 @@ type Connected struct {
 	activation        Activation
 	lastX, lastOut    []float32
 	lastBatch         int
+
+	// outBuf and dxBuf are reusable forward/backward scratch (grown to
+	// the largest batch seen), so steady-state serving and training
+	// allocate nothing per call. Forward's return value aliases outBuf
+	// and is valid until the layer's next Forward.
+	outBuf, dxBuf []float32
 }
 
 var _ Layer = (*Connected)(nil)
@@ -66,7 +72,7 @@ func (c *Connected) Forward(x []float32, batch int, train bool) ([]float32, erro
 	}
 	inSize := c.in.Size()
 	outs := c.out.C
-	out := make([]float32, batch*outs)
+	out := scratchF32(&c.outBuf, batch*outs)
 	// out = x (batch x in) * Wᵀ (in x outs)
 	gemmTB(batch, inSize, outs, x, c.weights, out)
 	for b := 0; b < batch; b++ {
@@ -94,7 +100,7 @@ func (c *Connected) Backward(delta []float32) ([]float32, error) {
 	// dW += deltaᵀ (outs x batch) * x (batch x in)
 	gemmTA(outs, batch, inSize, delta, c.lastX, c.gWeights)
 	// dx = delta (batch x outs) * W (outs x in)
-	dx := make([]float32, batch*inSize)
+	dx := scratchF32(&c.dxBuf, batch*inSize)
 	gemm(batch, outs, inSize, delta, c.weights, dx)
 	return dx, nil
 }

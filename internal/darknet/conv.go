@@ -33,6 +33,12 @@ type Conv struct {
 	lastX, lastCols, lastOut   []float32
 	preBN, xhat                []float32
 	lastBatch                  int
+
+	// outBuf, dxBuf and dcolsBuf are reusable forward/backward scratch
+	// (grown to the largest batch seen), keeping the hot serve/train
+	// paths allocation-free. Forward's return value aliases outBuf and
+	// is valid until the layer's next Forward.
+	outBuf, dxBuf, dcolsBuf []float32
 }
 
 var _ Layer = (*Conv)(nil)
@@ -162,7 +168,7 @@ func (c *Conv) Forward(x []float32, batch int, train bool) ([]float32, error) {
 		c.lastCols = make([]float32, batch*k*outHW)
 	}
 	c.lastCols = c.lastCols[:batch*k*outHW]
-	out := make([]float32, batch*outSize)
+	out := scratchF32(&c.outBuf, batch*outSize)
 	for b := 0; b < batch; b++ {
 		cols := c.lastCols[b*k*outHW : (b+1)*k*outHW]
 		c.im2col(x[b*c.in.Size():(b+1)*c.in.Size()], cols)
@@ -280,8 +286,8 @@ func (c *Conv) Backward(delta []float32) ([]float32, error) {
 	}
 
 	k := c.kcols()
-	dx := make([]float32, batch*c.in.Size())
-	dcols := make([]float32, k*outHW)
+	dx := scratchF32(&c.dxBuf, batch*c.in.Size())
+	dcols := growF32(&c.dcolsBuf, k*outHW)
 	for b := 0; b < batch; b++ {
 		cols := c.lastCols[b*k*outHW : (b+1)*k*outHW]
 		dout := delta[b*outSize : (b+1)*outSize]

@@ -122,10 +122,15 @@ type Layer interface {
 	InShape() Shape
 	OutShape() Shape
 	// Forward runs the layer on batch samples. train enables
-	// training-only behaviour (batch-norm batch statistics).
+	// training-only behaviour (batch-norm batch statistics). The
+	// returned slice aliases per-layer reusable scratch: it is valid
+	// until the layer's next Forward, so callers that retain outputs
+	// across passes must copy them.
 	Forward(x []float32, batch int, train bool) ([]float32, error)
 	// Backward propagates delta (d loss / d output) and returns
 	// d loss / d input. Must follow a Forward with the same batch.
+	// The returned slice aliases per-layer scratch, valid until the
+	// layer's next Backward.
 	Backward(delta []float32) ([]float32, error)
 	// Update applies accumulated gradients with the given learning
 	// rate and momentum, then zeroes them.
@@ -193,7 +198,56 @@ func sgdStep(w, g, v []float32, lr, momentum, decay float32) {
 }
 
 // gemm computes C += A * B for row-major A (m x k), B (k x n), C (m x n).
+// Large multiplies shard output rows across the bounded worker pool
+// (parallel.go); the result is bit-identical to gemmScalar either way.
 func gemm(m, k, n int, a, b, c []float32) {
+	if scalarKernels.Load() {
+		gemmScalar(m, k, n, a, b, c)
+		return
+	}
+	if m*k*n < gemmParallelFlops {
+		gemmRows(k, n, a, b, c, 0, m)
+		return
+	}
+	parallelFor(m, rowChunk(k, n), func(lo, hi int) {
+		gemmRows(k, n, a, b, c, lo, hi)
+	})
+}
+
+// gemmTA computes C += Aᵀ * B for A (k x m), B (k x n), C (m x n).
+func gemmTA(m, k, n int, a, b, c []float32) {
+	if scalarKernels.Load() {
+		gemmTAScalar(m, k, n, a, b, c)
+		return
+	}
+	if m*k*n < gemmParallelFlops {
+		gemmTARows(m, k, n, a, b, c, 0, m)
+		return
+	}
+	parallelFor(m, rowChunk(k, n), func(lo, hi int) {
+		gemmTARows(m, k, n, a, b, c, lo, hi)
+	})
+}
+
+// gemmTB computes C += A * Bᵀ for A (m x k), B (n x k), C (m x n).
+func gemmTB(m, k, n int, a, b, c []float32) {
+	if scalarKernels.Load() {
+		gemmTBScalar(m, k, n, a, b, c)
+		return
+	}
+	if m*k*n < gemmParallelFlops {
+		gemmTBRows(k, n, a, b, c, 0, m)
+		return
+	}
+	parallelFor(m, rowChunk(k, n), func(lo, hi int) {
+		gemmTBRows(k, n, a, b, c, lo, hi)
+	})
+}
+
+// gemmScalar is the single-threaded reference for gemm: the paper's
+// "fairly intensive single-threaded application" inner loop, kept as
+// the ground truth the blocked kernels are tested bit-identical to.
+func gemmScalar(m, k, n int, a, b, c []float32) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : i*k+k]
 		crow := c[i*n : i*n+n]
@@ -210,8 +264,8 @@ func gemm(m, k, n int, a, b, c []float32) {
 	}
 }
 
-// gemmTA computes C += Aᵀ * B for A (k x m), B (k x n), C (m x n).
-func gemmTA(m, k, n int, a, b, c []float32) {
+// gemmTAScalar is the single-threaded reference for gemmTA.
+func gemmTAScalar(m, k, n int, a, b, c []float32) {
 	for p := 0; p < k; p++ {
 		arow := a[p*m : p*m+m]
 		brow := b[p*n : p*n+n]
@@ -227,8 +281,8 @@ func gemmTA(m, k, n int, a, b, c []float32) {
 	}
 }
 
-// gemmTB computes C += A * Bᵀ for A (m x k), B (n x k), C (m x n).
-func gemmTB(m, k, n int, a, b, c []float32) {
+// gemmTBScalar is the single-threaded reference for gemmTB.
+func gemmTBScalar(m, k, n int, a, b, c []float32) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : i*k+k]
 		crow := c[i*n : i*n+n]
@@ -241,4 +295,30 @@ func gemmTB(m, k, n int, a, b, c []float32) {
 			crow[j] += sum
 		}
 	}
+}
+
+// scratchF32 returns a zeroed length-n float32 slice backed by *buf,
+// growing it when needed — the per-layer reusable scratch that keeps
+// the serving hot path allocation-free (buffers are keyed by the
+// requested size, so a changed batch grows once and is then reused).
+func scratchF32(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+		return *buf
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growF32 returns a length-n float32 slice backed by *buf WITHOUT
+// zeroing recycled memory; for scratch whose every element is written
+// before being read.
+func growF32(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
 }

@@ -12,6 +12,10 @@ type MaxPool struct {
 	stride    int
 	lastIdx   []int32
 	lastBatch int
+
+	// outBuf and dxBuf are reusable forward/backward scratch; Forward's
+	// return value aliases outBuf until the layer's next Forward.
+	outBuf, dxBuf []float32
 }
 
 var _ Layer = (*MaxPool)(nil)
@@ -55,7 +59,7 @@ func (m *MaxPool) Forward(x []float32, batch int, train bool) ([]float32, error)
 		return nil, err
 	}
 	outSize := m.out.Size()
-	out := make([]float32, batch*outSize)
+	out := growF32(&m.outBuf, batch*outSize)
 	if cap(m.lastIdx) < len(out) {
 		m.lastIdx = make([]int32, len(out))
 	}
@@ -102,7 +106,7 @@ func (m *MaxPool) Backward(delta []float32) ([]float32, error) {
 	if m.lastBatch == 0 || len(delta) != m.lastBatch*m.out.Size() {
 		return nil, ErrBatchMismatch
 	}
-	dx := make([]float32, m.lastBatch*m.in.Size())
+	dx := scratchF32(&m.dxBuf, m.lastBatch*m.in.Size())
 	for i, d := range delta {
 		if idx := m.lastIdx[i]; idx >= 0 {
 			dx[idx] += d

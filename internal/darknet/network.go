@@ -138,6 +138,9 @@ func (b *Builder) Build() (*Network, error) {
 }
 
 // Forward runs the whole network and returns the output activations.
+// The returned slice aliases the output layer's reusable scratch
+// buffer and is valid until the network's next forward pass; copy it
+// to retain activations across passes.
 func (n *Network) Forward(x []float32, batch int, train bool) ([]float32, error) {
 	if len(n.Layers) == 0 {
 		return nil, ErrEmptyNetwork
@@ -182,7 +185,8 @@ func (n *Network) TrainBatch(x, y []float32, batch int) (float32, error) {
 }
 
 // Predict classifies a single sample and returns the class
-// probabilities.
+// probabilities. The returned slice is valid until the network's next
+// forward pass (see Forward).
 func (n *Network) Predict(x []float32) ([]float32, error) {
 	return n.Forward(x, 1, false)
 }

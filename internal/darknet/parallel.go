@@ -1,0 +1,189 @@
+package darknet
+
+// Multi-core GEMM kernels. The three matrix-multiply shapes behind
+// every Forward/Backward (gemm, gemmTA, gemmTB in darknet.go) dispatch
+// here: rows of the output are sharded in contiguous chunks across a
+// bounded worker pool via parallelFor, and the inner loops are blocked
+// over the output columns so the written row segment stays cache-hot
+// while the B operand streams through.
+//
+// The blocked kernels are bit-identical to the scalar reference
+// kernels: each output element receives exactly the same additions in
+// exactly the same order (ascending p), only distributed across
+// goroutines by output row — no partial sums are merged and no
+// accumulation order changes, so parallel training and inference
+// reproduce the single-threaded results float for float. The property
+// tests in parallel_test.go enforce this with tolerance zero.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// kernelWorkers is the configured kernel parallelism; 0 means "use
+// GOMAXPROCS at call time". It is always clamped to GOMAXPROCS, since
+// compute-bound GEMM shards beyond the CPU count only add scheduling
+// overhead.
+var kernelWorkers atomic.Int32
+
+// scalarKernels forces the single-threaded scalar reference kernels,
+// for benchmarks that measure the parallel speedup and for debugging.
+var scalarKernels atomic.Bool
+
+// SetKernelParallelism bounds the GEMM worker pool to n goroutines
+// (clamped to [1, GOMAXPROCS] at call time); n <= 0 restores the
+// default, GOMAXPROCS. Safe to call concurrently with running kernels;
+// in-flight calls keep their pool size.
+func SetKernelParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int32(n))
+}
+
+// KernelParallelism returns the effective worker bound for the next
+// kernel dispatch.
+func KernelParallelism() int {
+	w := int(kernelWorkers.Load())
+	max := runtime.GOMAXPROCS(0)
+	if w <= 0 || w > max {
+		return max
+	}
+	return w
+}
+
+// SetScalarKernels toggles the scalar reference kernels. The blocked
+// parallel kernels are bit-identical, so this only changes speed; it
+// exists for before/after benchmarking (BenchmarkTrainIteration,
+// plinius-bench -exp perf).
+func SetScalarKernels(on bool) { scalarKernels.Store(on) }
+
+// ScalarKernels reports whether the scalar reference kernels are
+// forced.
+func ScalarKernels() bool { return scalarKernels.Load() }
+
+// gemmParallelFlops is the multiply-add count below which a kernel
+// runs single-threaded: the goroutine handoff (~µs) dwarfs the work.
+const gemmParallelFlops = 1 << 15
+
+// gemmBlockJ is the output-column block width (floats): 256 floats =
+// 1 KB of C row segment held hot in L1 while B streams past.
+const gemmBlockJ = 256
+
+// parallelFor shards [0, n) into contiguous chunks and runs body on up
+// to KernelParallelism goroutines, blocking until all chunks finish.
+// minChunk bounds the smallest chunk, so tiny trailing shards don't pay
+// a goroutine each. body must not panic across chunks it does not own.
+// With one worker (or n <= minChunk) the body runs inline.
+func parallelFor(n, minChunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	w := KernelParallelism()
+	if maxW := (n + minChunk - 1) / minChunk; w > maxW {
+		w = maxW
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows computes rows [lo, hi) of C += A * B (row-major A m x k,
+// B k x n, C m x n), blocked over the output columns. Per output
+// element the additions run in ascending p with the same zero-skip as
+// the scalar reference, so the result is bit-identical to gemmScalar.
+func gemmRows(k, n int, a, b, c []float32, lo, hi int) {
+	for jb := 0; jb < n; jb += gemmBlockJ {
+		je := jb + gemmBlockJ
+		if je > n {
+			je = n
+		}
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n+jb : i*n+je]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n+jb : p*n+je]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// gemmTARows computes rows [lo, hi) of C += Aᵀ * B (A k x m, B k x n,
+// C m x n). The p loop stays outermost — A's rows are read
+// contiguously, sliced to the worker's column range — and per output
+// element the additions run in ascending p exactly like the scalar
+// reference.
+func gemmTARows(m, k, n int, a, b, c []float32, lo, hi int) {
+	for p := 0; p < k; p++ {
+		arow := a[p*m+lo : p*m+hi]
+		brow := b[p*n : p*n+n]
+		for ii, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c[(lo+ii)*n : (lo+ii)*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gemmTBRows computes rows [lo, hi) of C += A * Bᵀ (A m x k, B n x k,
+// C m x n). Each output element is one dot product accumulated in a
+// register in ascending p and added to C once — the scalar reference
+// order.
+func gemmTBRows(k, n int, a, b, c []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var sum float32
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// rowChunk returns the minimum rows per worker chunk so each chunk
+// carries at least gemmParallelFlops multiply-adds.
+func rowChunk(k, n int) int {
+	perRow := k * n
+	if perRow <= 0 {
+		return 1
+	}
+	chunk := gemmParallelFlops / perRow
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}

@@ -88,10 +88,13 @@ func TestShardedForwardBitIdentical(t *testing.T) {
 	for i := range x {
 		x[i] = rng.Float32()
 	}
-	want, err := net.Forward(x, batch, false)
+	ref, err := net.Forward(x, batch, false)
 	if err != nil {
 		t.Fatalf("full Forward: %v", err)
 	}
+	// Shards share the full network's layers, whose forward scratch is
+	// reused pass to pass — copy the reference before re-driving them.
+	want := append([]float32(nil), ref...)
 
 	plan, err := net.PlanShards(64<<10, batch)
 	if err != nil {

@@ -12,6 +12,11 @@ type Softmax struct {
 	in        Shape
 	lastProbs []float32
 	lastBatch int
+
+	// outBuf, dxBuf and deltaBuf are reusable scratch; Forward's and
+	// CrossEntropy's return values alias them and stay valid until the
+	// layer's next corresponding call.
+	outBuf, dxBuf, deltaBuf []float32
 }
 
 var _ Layer = (*Softmax)(nil)
@@ -45,7 +50,7 @@ func (s *Softmax) Forward(x []float32, batch int, train bool) ([]float32, error)
 		return nil, err
 	}
 	n := s.in.Size()
-	out := make([]float32, batch*n)
+	out := growF32(&s.outBuf, batch*n)
 	for b := 0; b < batch; b++ {
 		row := x[b*n : (b+1)*n]
 		orow := out[b*n : (b+1)*n]
@@ -78,7 +83,7 @@ func (s *Softmax) Backward(delta []float32) ([]float32, error) {
 	if s.lastBatch == 0 || len(delta) != s.lastBatch*s.in.Size() {
 		return nil, ErrBatchMismatch
 	}
-	dx := make([]float32, len(delta))
+	dx := growF32(&s.dxBuf, len(delta))
 	copy(dx, delta)
 	return dx, nil
 }
@@ -95,7 +100,7 @@ func (s *Softmax) CrossEntropy(probs, truth []float32, batch int) (float32, []fl
 		return 0, nil, fmt.Errorf("%w: probs=%d truth=%d batch=%d classes=%d",
 			ErrBadInput, len(probs), len(truth), batch, n)
 	}
-	delta := make([]float32, len(probs))
+	delta := growF32(&s.deltaBuf, len(probs))
 	var loss float64
 	for i := range probs {
 		delta[i] = (probs[i] - truth[i]) / float32(batch)

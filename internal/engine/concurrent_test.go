@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScratchSealOpen drives many goroutines sealing and
+// opening through pooled Scratches on one engine — including a shared
+// non-thread-safe IV source (math/rand), which the engine must
+// serialize internally. Run under -race this is the concurrency proof
+// for the parallel mirroring path.
+func TestConcurrentScratchSealOpen(t *testing.T) {
+	e, err := New(testKey(), WithRand(rand.New(rand.NewSource(11))))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			sc := e.AcquireScratch()
+			defer e.ReleaseScratch(sc)
+			open := e.AcquireScratch()
+			defer e.ReleaseScratch(open)
+			for r := 0; r < rounds; r++ {
+				v := make([]float32, 1+rng.Intn(300))
+				for i := range v {
+					v[i] = rng.Float32()
+				}
+				sealed, err := e.SealFloatsWith(sc, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := make([]float32, len(v))
+				if err := e.OpenFloatsWith(open, got, sealed); err != nil {
+					errs <- err
+					return
+				}
+				for i := range v {
+					if got[i] != v[i] {
+						t.Errorf("goroutine %d round %d: float %d mismatch", g, r, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent seal/open: %v", err)
+	}
+}
+
+// TestScratchSealMatchesSingleGoroutine asserts the pooled path
+// produces buffers the classic single-goroutine path opens, and vice
+// versa (same format, same key schedule).
+func TestScratchSealMatchesSingleGoroutine(t *testing.T) {
+	e := newTestEngine(t)
+	v := []float32{1.5, -2.25, 0, 3e-9}
+
+	sc := e.AcquireScratch()
+	defer e.ReleaseScratch(sc)
+	sealed, err := e.SealFloatsWith(sc, v)
+	if err != nil {
+		t.Fatalf("SealFloatsWith: %v", err)
+	}
+	got, err := e.OpenFloats(append([]byte(nil), sealed...))
+	if err != nil {
+		t.Fatalf("OpenFloats of pooled seal: %v", err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("pooled→classic roundtrip differs at %d", i)
+		}
+	}
+
+	classic, err := e.SealFloats(v)
+	if err != nil {
+		t.Fatalf("SealFloats: %v", err)
+	}
+	dst := make([]float32, len(v))
+	if err := e.OpenFloatsWith(sc, dst, classic); err != nil {
+		t.Fatalf("OpenFloatsWith of classic seal: %v", err)
+	}
+	for i := range v {
+		if dst[i] != v[i] {
+			t.Fatalf("classic→pooled roundtrip differs at %d", i)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"plinius/internal/enclave"
 )
@@ -43,15 +44,58 @@ var (
 // The *Scratch methods reuse internal buffers to avoid garbage on the
 // hot mirroring path; like the Plinius training loop itself (§VI: "a
 // fairly intensive single-threaded application"), they are not safe for
-// concurrent use. The plain Seal/Open methods are.
+// concurrent use. The plain Seal/Open methods are, as are the
+// Scratch-pool methods (AcquireScratch / SealFloatsWith /
+// OpenFloatsWith): each goroutine stages through its own Scratch while
+// the AEAD and the IV source are shared safely — the concurrent mode
+// the parallel mirroring path fans out over.
 type Engine struct {
 	aead cipher.AEAD
 	rng  io.Reader
 	encl *enclave.Enclave
 
-	plainScratch  []byte
-	sealedScratch []byte
+	// rngMu serializes IV reads: the engine's IV source (the enclave
+	// RNG or an injected reader) is not required to be concurrent-safe.
+	rngMu sync.Mutex
+
+	// scratch backs the single-goroutine *Scratch methods, which
+	// delegate to the *With methods over it.
+	scratch Scratch
+
+	// pool recycles Scratch staging pairs for the concurrent seal/open
+	// mode.
+	pool sync.Pool
 }
+
+// Scratch is a per-goroutine pair of staging buffers for the
+// concurrent seal/open mode. Obtain one with AcquireScratch, use it
+// from a single goroutine, and return it with ReleaseScratch once the
+// bytes produced into it are no longer needed.
+type Scratch struct {
+	plain  []byte
+	sealed []byte
+}
+
+func (s *Scratch) growPlain(n int) []byte {
+	if cap(s.plain) < n {
+		s.plain = make([]byte, n)
+	}
+	return s.plain[:n]
+}
+
+func (s *Scratch) growSealed(n int) []byte {
+	if cap(s.sealed) < n {
+		s.sealed = make([]byte, n)
+	}
+	return s.sealed[:n]
+}
+
+// SealedBuf returns a length-n buffer backed by the scratch's
+// sealed-side staging area, for callers loading sealed bytes they will
+// immediately OpenFloatsWith on the same scratch (which stages only
+// through the plain side, so the two never alias). This keeps hot
+// restore loops allocation-free.
+func (s *Scratch) SealedBuf(n int) []byte { return s.growSealed(n) }
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -119,12 +163,24 @@ func PlainLen(n int) (int, error) {
 	return n - Overhead, nil
 }
 
+// readIV fills dst with a fresh IV under the RNG lock, so concurrent
+// sealers can share one (possibly non-thread-safe) IV source.
+func (e *Engine) readIV(dst []byte) error {
+	e.rngMu.Lock()
+	_, err := io.ReadFull(e.rng, dst)
+	e.rngMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("engine iv: %w", err)
+	}
+	return nil
+}
+
 // Seal encrypts plaintext into IV ‖ ciphertext ‖ MAC with a fresh random
 // IV, charging EPC paging for the touched bytes when enclave-bound.
 func (e *Engine) Seal(plaintext []byte) ([]byte, error) {
 	out := make([]byte, IVSize, SealedLen(len(plaintext)))
-	if _, err := io.ReadFull(e.rng, out[:IVSize]); err != nil {
-		return nil, fmt.Errorf("engine iv: %w", err)
+	if err := e.readIV(out[:IVSize]); err != nil {
+		return nil, err
 	}
 	if e.encl != nil {
 		e.encl.Touch(len(plaintext) + SealedLen(len(plaintext)))
@@ -162,31 +218,42 @@ func (e *Engine) OpenFloats(sealed []byte) ([]float32, error) {
 	return BytesToFloats(pt)
 }
 
-func (e *Engine) growPlain(n int) []byte {
-	if cap(e.plainScratch) < n {
-		e.plainScratch = make([]byte, n)
-	}
-	return e.plainScratch[:n]
-}
-
-func (e *Engine) growSealed(n int) []byte {
-	if cap(e.sealedScratch) < n {
-		e.sealedScratch = make([]byte, n)
-	}
-	return e.sealedScratch[:n]
-}
-
 // SealFloatsScratch is SealFloats without allocation: the returned
 // slice aliases an internal buffer and is only valid until the next
 // *Scratch call. Single-goroutine use only.
 func (e *Engine) SealFloatsScratch(v []float32) ([]byte, error) {
-	plain := e.growPlain(4 * len(v))
+	return e.SealFloatsWith(&e.scratch, v)
+}
+
+// AcquireScratch returns a staging-buffer pair for the concurrent
+// seal/open mode, recycled through an internal pool.
+func (e *Engine) AcquireScratch() *Scratch {
+	if s, ok := e.pool.Get().(*Scratch); ok {
+		return s
+	}
+	return &Scratch{}
+}
+
+// ReleaseScratch returns a Scratch to the pool. Buffers previously
+// returned by SealFloatsWith on it become invalid.
+func (e *Engine) ReleaseScratch(s *Scratch) {
+	if s != nil {
+		e.pool.Put(s)
+	}
+}
+
+// SealFloatsWith is SealFloatsScratch staged through the caller's
+// Scratch instead of the engine's internal buffers: safe for any
+// number of goroutines each holding its own Scratch. The returned
+// slice aliases sc and is valid until sc's next use or release.
+func (e *Engine) SealFloatsWith(sc *Scratch, v []float32) ([]byte, error) {
+	plain := sc.growPlain(4 * len(v))
 	for i, f := range v {
 		binary.LittleEndian.PutUint32(plain[4*i:], math.Float32bits(f))
 	}
-	out := e.growSealed(SealedLen(len(plain)))[:IVSize]
-	if _, err := io.ReadFull(e.rng, out[:IVSize]); err != nil {
-		return nil, fmt.Errorf("engine iv: %w", err)
+	out := sc.growSealed(SealedLen(len(plain)))[:IVSize]
+	if err := e.readIV(out[:IVSize]); err != nil {
+		return nil, err
 	}
 	if e.encl != nil {
 		e.encl.Touch(len(plain) + SealedLen(len(plain)))
@@ -194,16 +261,17 @@ func (e *Engine) SealFloatsScratch(v []float32) ([]byte, error) {
 	return e.aead.Seal(out, out[:IVSize], plain, nil), nil
 }
 
-// OpenFloatsInto authenticates and decrypts sealed into dst without
-// allocating. Single-goroutine use only.
-func (e *Engine) OpenFloatsInto(dst []float32, sealed []byte) error {
+// OpenFloatsWith is OpenFloatsInto staged through the caller's
+// Scratch: safe for any number of goroutines each holding its own
+// Scratch.
+func (e *Engine) OpenFloatsWith(sc *Scratch, dst []float32, sealed []byte) error {
 	if len(sealed) < Overhead {
 		return fmt.Errorf("%w: %d bytes", ErrTooShort, len(sealed))
 	}
 	if e.encl != nil {
 		e.encl.Touch(2*len(sealed) - Overhead)
 	}
-	plain, err := e.aead.Open(e.growPlain(len(sealed))[:0], sealed[:IVSize], sealed[IVSize:], nil)
+	plain, err := e.aead.Open(sc.growPlain(len(sealed))[:0], sealed[:IVSize], sealed[IVSize:], nil)
 	if err != nil {
 		return ErrAuth
 	}
@@ -214,6 +282,12 @@ func (e *Engine) OpenFloatsInto(dst []float32, sealed []byte) error {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(plain[4*i:]))
 	}
 	return nil
+}
+
+// OpenFloatsInto authenticates and decrypts sealed into dst without
+// allocating. Single-goroutine use only.
+func (e *Engine) OpenFloatsInto(dst []float32, sealed []byte) error {
+	return e.OpenFloatsWith(&e.scratch, dst, sealed)
 }
 
 // FloatsToBytes encodes a float32 vector little-endian.

@@ -50,6 +50,10 @@ type ShardRow struct {
 	// PMRestores counts layer-range restores from PM (sharded
 	// streaming's alternative currency).
 	PMRestores uint64
+	// Stalls counts batches that paid a full range restore on the
+	// compute path; Prefetched counts restores the double-buffering
+	// prefetcher overlapped with upstream compute instead.
+	Stalls, Prefetched uint64
 	// ServeWall is the wall-clock time of the batch run.
 	ServeWall time.Duration
 	// Batches is the number of micro-batches served.
@@ -134,64 +138,78 @@ func RunShard(server core.ServerProfile, sizeMB, epcMB, batches, batch int, seed
 	}
 	res.Rows = append(res.Rows, mono)
 
-	// Sharded: a pipelined shard group on an identical host.
-	shardHost := enclave.NewHost(server.Enclave, enclave.WithHostEPC(epcBytes))
-	g, err := f.NewShardGroup(core.ShardOptions{
-		Host:          shardHost,
-		Batch:         batch,
-		OverheadBytes: 64 << 10,
-		Seed:          seed + 100,
-	})
-	if err != nil {
-		return ShardResult{}, fmt.Errorf("shard group: %w", err)
-	}
-	sharded := ShardRow{
-		Mode:      "sharded",
-		Shards:    g.Shards(),
-		Window:    g.Window(),
-		Streaming: g.Streaming(),
-		Batches:   batches,
-	}
-	sharded.RestoreFaults = shardHost.Stats().PageSwaps
-	start = time.Now()
-	// Keep the pipeline full: up to Window batches in flight, so shard
-	// k runs batch i+1 while shard k+1 runs batch i.
-	sem := make(chan struct{}, g.Window())
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		batchErr error
-	)
-	for b := 0; b < batches; b++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(b int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if _, err := g.ClassifyBatch(images[b*batch*in : (b+1)*batch*in]); err != nil {
-				errMu.Lock()
-				if batchErr == nil {
-					batchErr = fmt.Errorf("sharded batch %d: %w", b, err)
+	// Sharded: a pipelined shard group on an identical host — once with
+	// double-buffered restores disabled (every parked stage stalls the
+	// batch on its restore) and once enabled (restores overlap upstream
+	// compute), so the prefetch win is visible in the stall column.
+	for _, pf := range []struct {
+		mode            string
+		disablePrefetch bool
+	}{
+		{"sharded-nopf", true},
+		{"sharded+pf", false},
+	} {
+		shardHost := enclave.NewHost(server.Enclave, enclave.WithHostEPC(epcBytes))
+		g, err := f.NewShardGroup(core.ShardOptions{
+			Host:            shardHost,
+			Batch:           batch,
+			OverheadBytes:   64 << 10,
+			Seed:            seed + 100,
+			DisablePrefetch: pf.disablePrefetch,
+		})
+		if err != nil {
+			return ShardResult{}, fmt.Errorf("shard group (%s): %w", pf.mode, err)
+		}
+		sharded := ShardRow{
+			Mode:      pf.mode,
+			Shards:    g.Shards(),
+			Window:    g.Window(),
+			Streaming: g.Streaming(),
+			Batches:   batches,
+		}
+		sharded.RestoreFaults = shardHost.Stats().PageSwaps
+		start = time.Now()
+		// Keep the pipeline full: up to Window batches in flight, so
+		// shard k runs batch i+1 while shard k+1 runs batch i.
+		sem := make(chan struct{}, g.Window())
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			batchErr error
+		)
+		for b := 0; b < batches; b++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(b int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := g.ClassifyBatch(images[b*batch*in : (b+1)*batch*in]); err != nil {
+					errMu.Lock()
+					if batchErr == nil {
+						batchErr = fmt.Errorf("%s batch %d: %w", pf.mode, b, err)
+					}
+					errMu.Unlock()
 				}
-				errMu.Unlock()
-			}
-		}(b)
+			}(b)
+		}
+		wg.Wait()
+		if batchErr != nil {
+			return ShardResult{}, batchErr
+		}
+		sharded.ServeWall = time.Since(start)
+		hs = shardHost.Stats()
+		sharded.ServeFaults = hs.PageSwaps - sharded.RestoreFaults
+		sharded.PagingTime = time.Duration(hs.PageSwaps) * pageCost
+		sharded.PeakResidentBytes = hs.PeakResidentBytes
+		sharded.HostOverEPC = hs.PeakResidentBytes > epcBytes
+		sharded.PMRestores = g.Restores()
+		sharded.Stalls = g.Stalls()
+		sharded.Prefetched = g.PrefetchedRestores()
+		if err := g.Close(); err != nil {
+			return ShardResult{}, err
+		}
+		res.Rows = append(res.Rows, sharded)
 	}
-	wg.Wait()
-	if batchErr != nil {
-		return ShardResult{}, batchErr
-	}
-	sharded.ServeWall = time.Since(start)
-	hs = shardHost.Stats()
-	sharded.ServeFaults = hs.PageSwaps - sharded.RestoreFaults
-	sharded.PagingTime = time.Duration(hs.PageSwaps) * pageCost
-	sharded.PeakResidentBytes = hs.PeakResidentBytes
-	sharded.HostOverEPC = hs.PeakResidentBytes > epcBytes
-	sharded.PMRestores = g.Restores()
-	if err := g.Close(); err != nil {
-		return ShardResult{}, err
-	}
-	res.Rows = append(res.Rows, sharded)
 	return res, nil
 }
 
@@ -200,7 +218,7 @@ func (r ShardResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Sharded serving — %s: %.0f MB model on %.1f MB serving hosts (batch %d)\n",
 		r.Server, mbOf(r.ModelBytes), mbOf(r.ServeEPC), r.Batch)
 	tw := newTable(w)
-	fmt.Fprintln(tw, "mode\tshards\twindow\tpeak(MB)\trestore-faults\tserve-faults\tpaging(ms)\tPM-restores\twall(ms)\tregime")
+	fmt.Fprintln(tw, "mode\tshards\twindow\tpeak(MB)\trestore-faults\tserve-faults\tpaging(ms)\tPM-restores\tstalls\tprefetched\twall(ms)\tregime")
 	for _, row := range r.Rows {
 		regime := "fits"
 		switch {
@@ -209,10 +227,10 @@ func (r ShardResult) Print(w io.Writer) {
 		case row.Streaming:
 			regime = "streams PM"
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%d\t%s\t%d\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%d\t%s\t%d\t%d\t%d\t%s\t%s\n",
 			row.Mode, row.Shards, row.Window, mbOf(row.PeakResidentBytes),
 			row.RestoreFaults, row.ServeFaults, ms(row.PagingTime),
-			row.PMRestores, ms(row.ServeWall), regime)
+			row.PMRestores, row.Stalls, row.Prefetched, ms(row.ServeWall), regime)
 	}
 	tw.Flush()
 }

@@ -34,10 +34,10 @@ func TestShardedBeatsKnee(t *testing.T) {
 			if err != nil {
 				t.Fatalf("RunShard: %v", err)
 			}
-			if len(res.Rows) != 2 {
+			if len(res.Rows) != 3 {
 				t.Fatalf("RunShard returned %d rows", len(res.Rows))
 			}
-			mono, sharded := res.Rows[0], res.Rows[1]
+			mono := res.Rows[0]
 			if res.ModelBytes <= res.ServeEPC {
 				t.Fatalf("model %d bytes fits the %d-byte budget; the experiment needs an over-EPC model",
 					res.ModelBytes, res.ServeEPC)
@@ -49,19 +49,30 @@ func TestShardedBeatsKnee(t *testing.T) {
 			if monoFaults == 0 {
 				t.Fatal("monolithic mode paid no faults over the knee")
 			}
-			if !sharded.Streaming || sharded.Shards < 2 {
-				t.Fatalf("sharded mode not streaming a real split: %+v", sharded)
+			// Both sharded rows — double-buffered restore disabled and
+			// enabled — must preserve the zero-fault residency bound.
+			for _, sharded := range res.Rows[1:] {
+				if !sharded.Streaming || sharded.Shards < 2 {
+					t.Fatalf("%s mode not streaming a real split: %+v", sharded.Mode, sharded)
+				}
+				if sharded.HostOverEPC {
+					t.Fatalf("%s serving host crossed the knee: peak %d > %d",
+						sharded.Mode, sharded.PeakResidentBytes, res.ServeEPC)
+				}
+				shardFaults := sharded.RestoreFaults + sharded.ServeFaults
+				if 20*shardFaults >= monoFaults {
+					t.Fatalf("%s faults %d not under 5%% of monolithic %d", sharded.Mode, shardFaults, monoFaults)
+				}
+				if sharded.PMRestores == 0 {
+					t.Fatalf("streaming %s group recorded no PM range restores", sharded.Mode)
+				}
 			}
-			if sharded.HostOverEPC {
-				t.Fatalf("sharded serving host crossed the knee: peak %d > %d",
-					sharded.PeakResidentBytes, res.ServeEPC)
+			nopf, pf := res.Rows[1], res.Rows[2]
+			if nopf.Prefetched != 0 {
+				t.Fatalf("prefetch-disabled row prefetched %d restores", nopf.Prefetched)
 			}
-			shardFaults := sharded.RestoreFaults + sharded.ServeFaults
-			if 20*shardFaults >= monoFaults {
-				t.Fatalf("sharded faults %d not under 5%% of monolithic %d", shardFaults, monoFaults)
-			}
-			if sharded.PMRestores == 0 {
-				t.Fatal("streaming shard group recorded no PM range restores")
+			if pf.Prefetched > 0 && pf.Stalls > nopf.Stalls {
+				t.Fatalf("double-buffered restore increased stalls: %d with, %d without", pf.Stalls, nopf.Stalls)
 			}
 			var sb strings.Builder
 			res.Print(&sb)

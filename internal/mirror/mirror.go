@@ -15,6 +15,9 @@ package mirror
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"plinius/internal/darknet"
@@ -71,16 +74,88 @@ type Model struct {
 	headOff int
 	layers  []layerNode
 
-	// lastSeal and lastOpen record the wall-clock time spent in AES-GCM
-	// during the most recent MirrorOut/MirrorIn, so experiment
-	// harnesses can report the paper's encrypt/write and read/decrypt
-	// breakdowns (Table Ia).
-	lastSeal time.Duration
-	lastOpen time.Duration
+	// lastSeal and lastOpen record the time spent in AES-GCM during
+	// the most recent MirrorOut/MirrorIn, so experiment harnesses can
+	// report the paper's encrypt/write and read/decrypt breakdowns
+	// (Table Ia). With the parallel mirroring path the total is
+	// aggregate AES CPU time summed across workers (it can exceed the
+	// operation's wall-clock time). Stored as nanoseconds and updated
+	// atomically so the accessors are race-safe against an in-flight
+	// mirror operation.
+	lastSeal atomic.Int64
+	lastOpen atomic.Int64
+}
 
-	// readBuf is reused for sealed reads during MirrorIn to keep the
-	// hot recovery path allocation-free.
-	readBuf []byte
+// Mirroring fan-out: sealed buffers are AES-processed by a bounded
+// worker pool — GOMAXPROCS-clamped and capped — while PM stores stay
+// ordered on the calling goroutine (the Romulus redo log is
+// single-writer). Small mirrors stay sequential: below the byte
+// threshold the goroutine handoff costs more than the AES saved.
+const (
+	maxMirrorFanout     = 8
+	mirrorParallelBytes = 256 << 10
+)
+
+// forceMirrorWorkers overrides the GOMAXPROCS/NumCPU clamp in tests
+// (0 = off), so the fan-out paths are exercised on any machine.
+var forceMirrorWorkers int
+
+// mirrorWorkers picks the seal/open fan-out for a mirror operation of
+// the given task count and total sealed bytes. The pool is clamped to
+// the PHYSICAL core count as well as GOMAXPROCS: AES sealing is pure
+// CPU work, so oversubscribing cores gains nothing — and because
+// lastSeal/lastOpen sum per-worker wall time, time-shared workers
+// would count descheduled time and inflate the Table Ia attribution.
+func mirrorWorkers(tasks, totalBytes int) int {
+	if totalBytes < mirrorParallelBytes {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); w > c {
+		w = c
+	}
+	if forceMirrorWorkers > 0 {
+		// Test hook: single-core machines would otherwise never drive
+		// the fan-out branch.
+		w = forceMirrorWorkers
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w > maxMirrorFanout {
+		w = maxMirrorFanout
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// bufTask is one sealed parameter buffer of a mirror operation.
+type bufTask struct {
+	li, bi    int
+	p         []float32
+	off       int
+	sealedLen int
+}
+
+// collectTasks flattens the (layer, buffer) pairs of a restore or
+// mirror-out into a task list, one entry per sealed buffer.
+func (m *Model) collectTasks(paramLayers [][][]float32, from int) ([]bufTask, int) {
+	var tasks []bufTask
+	total := 0
+	for li, params := range paramLayers {
+		node := m.layers[from+li]
+		for bi, p := range params {
+			tasks = append(tasks, bufTask{
+				li: from + li, bi: bi, p: p,
+				off:       node.bufs[bi].off,
+				sealedLen: node.bufs[bi].sealedLen,
+			})
+			total += node.bufs[bi].sealedLen
+		}
+	}
+	return tasks, total
 }
 
 // Option configures a Model handle.
@@ -342,31 +417,105 @@ func (m *Model) matchesFrom(paramLayers [][][]float32, from int) error {
 // MirrorOut encrypts the enclave model's parameters and writes them over
 // the persistent mirror in one durable transaction, recording the
 // iteration counter (Algorithm 3, mirror_out).
+//
+// Sealing fans out across a bounded worker pool (mirrorWorkers), each
+// worker staging through its own engine Scratch; the PM stores stay on
+// the calling goroutine, in buffer order, inside the single Romulus
+// transaction — so the durable-transaction semantics and the enclave
+// paging accounting are exactly those of the sequential path, while
+// the AES-GCM work (the dominant save cost, Table Ia) overlaps the PM
+// writes and uses all cores.
 func (m *Model) MirrorOut(net *darknet.Network) error {
 	paramLayers := collectParamLayers(net)
 	if err := m.matches(paramLayers); err != nil {
 		return err
 	}
-	m.lastSeal = 0
+	m.lastSeal.Store(0)
+	tasks, total := m.collectTasks(paramLayers, 0)
+	workers := mirrorWorkers(len(tasks), total)
 	return m.rom.Update(func() error {
 		if err := m.rom.StoreUint64(m.headOff+modelHdrIter, uint64(net.Iteration)); err != nil {
 			return err
 		}
-		for li, params := range paramLayers {
-			node := m.layers[li]
-			for bi, p := range params {
+		if workers <= 1 {
+			for _, t := range tasks {
 				sealStart := time.Now()
-				sealed, err := m.eng.SealFloatsScratch(p)
-				m.lastSeal += time.Since(sealStart)
+				sealed, err := m.eng.SealFloatsScratch(t.p)
+				m.lastSeal.Add(int64(time.Since(sealStart)))
 				if err != nil {
-					return fmt.Errorf("seal layer %d buffer %d: %w", li, bi, err)
+					return fmt.Errorf("seal layer %d buffer %d: %w", t.li, t.bi, err)
 				}
-				if err := m.rom.Store(node.bufs[bi].off, sealed); err != nil {
+				if err := m.rom.Store(t.off, sealed); err != nil {
 					return err
 				}
 			}
+			return nil
 		}
-		return nil
+
+		type sealResult struct {
+			sc     *engine.Scratch
+			sealed []byte
+			err    error
+			done   chan struct{}
+		}
+		results := make([]sealResult, len(tasks))
+		for i := range results {
+			results[i].done = make(chan struct{})
+		}
+		idx := make(chan int, len(tasks))
+		for i := range tasks {
+			idx <- i
+		}
+		close(idx)
+		// inflight bounds sealed-but-unstored results so the seal pool
+		// cannot run arbitrarily far ahead of the ordered store
+		// consumer: at most 2x workers scratch pairs are live, instead
+		// of one per buffer (~2x the model payload for a large model).
+		// The token is acquired BEFORE pulling a task index: idx is
+		// FIFO, so the pulled set is always a prefix of the task list,
+		// every pulled-but-unstored task holds a token, and the store
+		// loop (which releases in task order) always finds the head
+		// task pulled or pullable — no deadlock.
+		inflight := make(chan struct{}, 2*workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					inflight <- struct{}{}
+					ti, ok := <-idx
+					if !ok {
+						<-inflight
+						return
+					}
+					r := &results[ti]
+					r.sc = m.eng.AcquireScratch()
+					sealStart := time.Now()
+					r.sealed, r.err = m.eng.SealFloatsWith(r.sc, tasks[ti].p)
+					m.lastSeal.Add(int64(time.Since(sealStart)))
+					close(r.done)
+				}
+			}()
+		}
+		// Store each sealed buffer as it becomes ready, in task order.
+		var firstErr error
+		for ti := range tasks {
+			r := &results[ti]
+			<-r.done
+			if firstErr == nil && r.err != nil {
+				firstErr = fmt.Errorf("seal layer %d buffer %d: %w", tasks[ti].li, tasks[ti].bi, r.err)
+			}
+			if firstErr == nil {
+				if err := m.rom.Store(tasks[ti].off, r.sealed); err != nil {
+					firstErr = err
+				}
+			}
+			m.eng.ReleaseScratch(r.sc)
+			<-inflight
+		}
+		wg.Wait()
+		return firstErr
 	})
 }
 
@@ -397,33 +546,94 @@ func (m *Model) MirrorInRange(net *darknet.Network, from int) (int, error) {
 
 // mirrorInFrom is the shared restore loop of MirrorIn and
 // MirrorInRange; the shape has already been checked.
+//
+// The per-buffer work — sealed PM read, boundary copy, in-enclave
+// AES-GCM open — fans out across mirrorWorkers goroutines, each with
+// its own read buffer and engine Scratch, so no restore worker can
+// alias another's staging memory. Buffers decrypt into disjoint
+// parameter slices, PM loads are device-locked, and the enclave
+// CopyAcross/Touch accounting is mutex-protected, so the parallel
+// restore charges exactly what the sequential one does.
 func (m *Model) mirrorInFrom(net *darknet.Network, paramLayers [][][]float32, from int) (int, error) {
 	iter, err := m.rom.LoadUint64(m.headOff + modelHdrIter)
 	if err != nil {
 		return 0, err
 	}
-	m.lastOpen = 0
-	for li, params := range paramLayers {
-		node := m.layers[from+li]
-		for bi, p := range params {
-			n := node.bufs[bi].sealedLen
-			if cap(m.readBuf) < n {
-				m.readBuf = make([]byte, n)
-			}
-			sealed := m.readBuf[:n]
-			if err := m.rom.Load(node.bufs[bi].off, sealed); err != nil {
-				return 0, err
-			}
-			if m.encl != nil {
-				m.encl.CopyAcross(len(sealed))
-			}
-			openStart := time.Now()
-			err := m.eng.OpenFloatsInto(p, sealed)
-			m.lastOpen += time.Since(openStart)
-			if err != nil {
-				return 0, fmt.Errorf("open layer %d buffer %d: %w", li, bi, err)
+	m.lastOpen.Store(0)
+	tasks, total := m.collectTasks(paramLayers, from)
+	workers := mirrorWorkers(len(tasks), total)
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	// The sealed bytes stage through the scratch's sealed side (the
+	// open uses only its plain side), so steady-state restores — the
+	// streaming shard group's per-batch path — allocate nothing: the
+	// scratch pool keeps the buffers alive across calls.
+	restore := func(sc *engine.Scratch, t bufTask) {
+		sealed := sc.SealedBuf(t.sealedLen)
+		if err := m.rom.Load(t.off, sealed); err != nil {
+			fail(err)
+			return
+		}
+		if m.encl != nil {
+			m.encl.CopyAcross(len(sealed))
+		}
+		openStart := time.Now()
+		err := m.eng.OpenFloatsWith(sc, t.p, sealed)
+		m.lastOpen.Add(int64(time.Since(openStart)))
+		if err != nil {
+			fail(fmt.Errorf("open layer %d buffer %d: %w", t.li, t.bi, err))
+		}
+	}
+
+	if workers <= 1 {
+		sc := m.eng.AcquireScratch()
+		for _, t := range tasks {
+			restore(sc, t)
+			if failed() {
+				break
 			}
 		}
+		m.eng.ReleaseScratch(sc)
+	} else {
+		idx := make(chan int, len(tasks))
+		for i := range tasks {
+			idx <- i
+		}
+		close(idx)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := m.eng.AcquireScratch()
+				defer m.eng.ReleaseScratch(sc)
+				for ti := range idx {
+					if failed() {
+						return
+					}
+					restore(sc, tasks[ti])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return 0, firstErr
 	}
 	net.Iteration = int(iter)
 	return int(iter), nil
@@ -463,10 +673,13 @@ func (m *Model) SealedBytes() int {
 // NumLayers returns the number of persistent layer nodes.
 func (m *Model) NumLayers() int { return len(m.layers) }
 
-// LastSealDuration returns the wall-clock AES time of the most recent
-// MirrorOut.
-func (m *Model) LastSealDuration() time.Duration { return m.lastSeal }
+// LastSealDuration returns the aggregate AES CPU time of the most
+// recent MirrorOut (summed across seal workers, so it can exceed the
+// operation's wall-clock time). Safe to call concurrently with mirror
+// operations.
+func (m *Model) LastSealDuration() time.Duration { return time.Duration(m.lastSeal.Load()) }
 
-// LastOpenDuration returns the wall-clock AES time of the most recent
-// MirrorIn.
-func (m *Model) LastOpenDuration() time.Duration { return m.lastOpen }
+// LastOpenDuration returns the aggregate AES CPU time of the most
+// recent MirrorIn (summed across restore workers). Safe to call
+// concurrently with mirror operations.
+func (m *Model) LastOpenDuration() time.Duration { return time.Duration(m.lastOpen.Load()) }

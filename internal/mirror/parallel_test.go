@@ -1,0 +1,185 @@
+package mirror
+
+import (
+	mrand "math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"plinius/internal/darknet"
+)
+
+// bigTestNet builds a network whose mirror payload crosses the
+// mirrorParallelBytes threshold, forcing the fan-out seal/open path.
+func bigTestNet(t *testing.T, seed int64) *darknet.Network {
+	t.Helper()
+	// 64 hidden units over 28x28 inputs ≈ 200 KB of weights per layer.
+	cfg := `[net]
+batch=4
+channels=1
+height=28
+width=28
+
+[connected]
+output=96
+activation=relu
+
+[connected]
+output=96
+activation=relu
+
+[connected]
+output=10
+activation=linear
+
+[softmax]
+`
+	n, err := darknet.ParseConfig(strings.NewReader(cfg), mrand.New(mrand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	return n
+}
+
+// forceWorkers pins the mirror fan-out for the duration of a test so
+// the parallel branches run even on single-core machines.
+func forceWorkers(t *testing.T, n int) {
+	t.Helper()
+	forceMirrorWorkers = n
+	t.Cleanup(func() { forceMirrorWorkers = 0 })
+}
+
+// TestParallelMirrorRoundTrip drives the fan-out MirrorOut/MirrorIn
+// path over a model large enough to parallelize and checks the restore
+// is exact.
+func TestParallelMirrorRoundTrip(t *testing.T) {
+	forceWorkers(t, 4)
+	_, rom := testHeap(t, 16<<20)
+	eng := testEngine(t)
+	net := bigTestNet(t, 1)
+	if tasks, total := 0, 0; true {
+		for _, l := range net.Layers {
+			for _, p := range l.Params() {
+				tasks++
+				total += 4 * len(p)
+			}
+		}
+		if total < mirrorParallelBytes {
+			t.Fatalf("test model too small to exercise the parallel path: %d bytes", total)
+		}
+		if w := mirrorWorkers(tasks, total); w < 1 {
+			t.Fatalf("mirrorWorkers = %d", w)
+		}
+	}
+	net.Iteration = 7
+
+	m, err := AllocModel(rom, eng, net)
+	if err != nil {
+		t.Fatalf("AllocModel: %v", err)
+	}
+	if err := m.MirrorOut(net); err != nil {
+		t.Fatalf("MirrorOut: %v", err)
+	}
+
+	other := bigTestNet(t, 99)
+	if netsEqual(net, other) {
+		t.Fatal("test nets unexpectedly equal before restore")
+	}
+	iter, err := m.MirrorIn(other)
+	if err != nil {
+		t.Fatalf("MirrorIn: %v", err)
+	}
+	if iter != 7 || !netsEqual(net, other) {
+		t.Fatalf("parallel restore mismatch: iter=%d equal=%v", iter, netsEqual(net, other))
+	}
+}
+
+// TestParallelMirrorManyBuffers pushes many more sealed buffers than
+// the in-flight token window through the fan-out MirrorOut — the
+// regression case for the store/seal pipeline deadlock (tokens must be
+// acquired before pulling a task index) — and checks the roundtrip.
+func TestParallelMirrorManyBuffers(t *testing.T) {
+	forceWorkers(t, 2) // 4 tokens against 24+ tasks
+	var cfg strings.Builder
+	cfg.WriteString("[net]\nbatch=2\nchannels=1\nheight=32\nwidth=32\n\n")
+	for i := 0; i < 12; i++ {
+		cfg.WriteString("[connected]\noutput=48\nactivation=relu\n\n")
+	}
+	cfg.WriteString("[connected]\noutput=10\nactivation=linear\n\n[softmax]\n")
+	build := func(seed int64) *darknet.Network {
+		n, err := darknet.ParseConfig(strings.NewReader(cfg.String()), mrand.New(mrand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("ParseConfig: %v", err)
+		}
+		return n
+	}
+	net := build(1)
+	if tasks := 0; true {
+		for _, l := range net.Layers {
+			tasks += len(l.Params())
+		}
+		if tasks <= 8 {
+			t.Fatalf("want > 2x tokens tasks, got %d", tasks)
+		}
+	}
+	_, rom := testHeap(t, 16<<20)
+	eng := testEngine(t)
+	m, err := AllocModel(rom, eng, net)
+	if err != nil {
+		t.Fatalf("AllocModel: %v", err)
+	}
+	if err := m.MirrorOut(net); err != nil {
+		t.Fatalf("MirrorOut: %v", err)
+	}
+	other := build(2)
+	if _, err := m.MirrorIn(other); err != nil {
+		t.Fatalf("MirrorIn: %v", err)
+	}
+	if !netsEqual(net, other) {
+		t.Fatal("many-buffer parallel roundtrip mismatch")
+	}
+}
+
+// TestMirrorDurationAccessorsRaceSafe hammers LastSealDuration and
+// LastOpenDuration while mirror operations run — the satellite fix for
+// the formerly racy plain-field accessors. Run with -race.
+func TestMirrorDurationAccessorsRaceSafe(t *testing.T) {
+	forceWorkers(t, 4)
+	_, rom := testHeap(t, 16<<20)
+	eng := testEngine(t)
+	net := bigTestNet(t, 1)
+	m, err := AllocModel(rom, eng, net)
+	if err != nil {
+		t.Fatalf("AllocModel: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.LastSealDuration()
+				_ = m.LastOpenDuration()
+			}
+		}
+	}()
+	other := bigTestNet(t, 2)
+	for i := 0; i < 5; i++ {
+		if err := m.MirrorOut(net); err != nil {
+			t.Fatalf("MirrorOut: %v", err)
+		}
+		if _, err := m.MirrorIn(other); err != nil {
+			t.Fatalf("MirrorIn: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !netsEqual(net, other) {
+		t.Fatal("restore mismatch")
+	}
+}

@@ -597,6 +597,8 @@ func (s *Server) ShardsStreaming() bool {
 
 // ShardRestores counts layer-range restores from PM by the shard
 // pipeline — the streaming mode's alternative currency to page faults.
+// For a coherent multi-counter snapshot (restores, stalls, prefetch
+// waits, prefetched) use Stats instead.
 func (s *Server) ShardRestores() uint64 {
 	if s.group == nil {
 		return 0
@@ -738,11 +740,18 @@ func (s *Server) RotateKey(ctx context.Context) (uint64, error) {
 }
 
 // Stats returns a snapshot of the serving counters, including the
-// host-level EPC pressure at the moment of the call.
+// host-level EPC pressure at the moment of the call and — in shard
+// mode — the pipeline's restore/stall/prefetch counters.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
 	st.EPCPressure = s.host.Overcommit()
 	st.HostResidentBytes = s.host.Resident()
+	if s.group != nil {
+		st.ShardRestores = s.group.Restores()
+		st.ShardStalls = s.group.Stalls()
+		st.ShardPrefetchWaits = s.group.PrefetchWaits()
+		st.ShardPrefetched = s.group.PrefetchedRestores()
+	}
 	return st
 }
 

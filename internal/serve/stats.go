@@ -49,6 +49,16 @@ type Stats struct {
 	Throughput float64
 	// Uptime is the time since the server started.
 	Uptime time.Duration
+	// Shard-pipeline counters, nonzero only in shard mode:
+	// ShardRestores counts layer-range restores from PM, ShardStalls
+	// batches that paid a full restore on the compute path,
+	// ShardPrefetchWaits batches that paid only the unfinished
+	// remainder of an in-flight prefetch, and ShardPrefetched restores
+	// overlapped with compute by the double-buffering prefetcher.
+	ShardRestores      uint64
+	ShardStalls        uint64
+	ShardPrefetchWaits uint64
+	ShardPrefetched    uint64
 }
 
 // latBuckets is the size of the latency histogram: bucket i counts
