@@ -12,9 +12,11 @@
 //
 // -exp perf additionally writes a machine-readable snapshot of the
 // parallel hot-path metrics (training iterations/s, seal GB/s, sharded
-// P95) to the file named by -json (default BENCH_5.json), so the perf
-// trajectory is tracked across PRs. Only the explicit -exp perf run
-// writes the file; -exp all prints the table without the side effect.
+// P95) plus a flattened dump of the process metrics registry to the
+// file named by -out (default BENCH_<exp>.json, i.e. BENCH_perf.json),
+// so the perf trajectory is tracked across PRs. Only the explicit
+// -exp perf run writes the file; -exp all prints the table without the
+// side effect unless -out is given explicitly.
 package main
 
 import (
@@ -27,31 +29,28 @@ import (
 	"plinius/internal/experiments"
 )
 
-// jsonOut is the -json flag: where -exp perf writes its snapshot.
-// Cleared when perf runs as part of -exp all with no explicit -json,
-// so the figure sweep has no file side effects by default.
-var jsonOut string
+// outPath is the -out flag: where -exp perf writes its snapshot.
+// Empty with no explicit -out defaults to BENCH_<exp>.json, except
+// under -exp all where it stays empty so the figure sweep has no file
+// side effects by default.
+var outPath string
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|perf|all)")
 	quick := flag.Bool("quick", false, "scaled-down parameters for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	root := flag.String("root", ".", "repository root (for -exp tcb)")
-	flag.StringVar(&jsonOut, "json", "BENCH_5.json", "output file for the -exp perf machine-readable snapshot")
+	flag.StringVar(&outPath, "out", "", "output file for the -exp perf machine-readable snapshot (default BENCH_<exp>.json)")
 	flag.Parse()
 
-	// -exp all suppresses the perf JSON side effect unless the user
-	// asked for it explicitly with -json.
-	if *exp == "all" {
-		jsonExplicit := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "json" {
-				jsonExplicit = true
-			}
-		})
-		if !jsonExplicit {
-			jsonOut = ""
+	outExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outExplicit = true
 		}
+	})
+	if !outExplicit && *exp != "all" {
+		outPath = fmt.Sprintf("BENCH_%s.json", *exp)
 	}
 
 	if err := run(*exp, *quick, *seed, *root); err != nil {
@@ -287,17 +286,17 @@ func runPerf(quick bool, seed int64, _ string) error {
 		return err
 	}
 	res.Print(os.Stdout)
-	if jsonOut == "" {
+	if outPath == "" {
 		return nil
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("write %s: %w", jsonOut, err)
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
 	}
-	fmt.Printf("wrote %s\n", jsonOut)
+	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }
 

@@ -1,0 +1,98 @@
+// Command plinius-metrics-check validates a Prometheus text exposition
+// scraped from a plinius-serve /metrics endpoint.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | plinius-metrics-check \
+//	    -require serve_requests_total -require epc_page_swaps_total
+//	plinius-metrics-check -in metrics.txt -require pm_bytes_stored_total
+//
+// The exposition is linted with the same parser the obs package tests
+// use: every sample must belong to a # TYPE-declared family, carry a
+// well-formed label set, and no two samples may share a name and label
+// set (no duplicate or unlabeled-collision series). Each -require flag
+// names a metric family that must be present; the command exits
+// nonzero on a lint violation or a missing family. This is the CI
+// smoke gate for the /metrics surface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"plinius/internal/obs"
+)
+
+// requireList collects repeated -require flags; each value may also be
+// a comma-separated list.
+type requireList []string
+
+func (r *requireList) String() string { return strings.Join(*r, ",") }
+
+func (r *requireList) Set(v string) error {
+	for _, f := range strings.Split(v, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			*r = append(*r, f)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var require requireList
+	in := flag.String("in", "-", "exposition file to check (- for stdin)")
+	quiet := flag.Bool("quiet", false, "suppress the family listing on success")
+	flag.Var(&require, "require", "metric family that must be present (repeatable, comma-separable)")
+	flag.Parse()
+
+	if err := run(*in, require, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "plinius-metrics-check:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, require []string, quiet bool) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	families, err := obs.LintPrometheus(r)
+	if err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	var missing []string
+	for _, name := range require {
+		if _, ok := families[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("missing required families: %s", strings.Join(missing, ", "))
+	}
+	if !quiet {
+		names := make([]string, 0, len(families))
+		for name := range families {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("ok: %d families", len(names))
+		if len(require) > 0 {
+			fmt.Printf(", %d required present", len(require))
+		}
+		fmt.Println()
+		for _, name := range names {
+			fmt.Printf("  %s %s\n", families[name], name)
+		}
+	}
+	return nil
+}

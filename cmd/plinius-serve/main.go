@@ -11,7 +11,14 @@
 //	POST /refresh  -> roll all replicas to the latest published model
 //	POST /rotate   -> rotate the data key end to end, no serving gap
 //	GET  /stats    -> serving counters
+//	GET  /metrics  -> Prometheus text exposition (process + server registries)
+//	GET  /trace    -> JSON dump of the N slowest requests with per-stage spans
 //	GET  /healthz
+//
+// With -pprof the mux additionally mounts net/http/pprof under
+// /debug/pprof/; batch dispatch and shard stage goroutines carry pprof
+// labels (request_id, worker, shard), so CPU profiles attribute enclave
+// compute to pipeline stages.
 //
 // SIGINT/SIGTERM shuts down gracefully: the HTTP listener stops, the
 // request queue drains (every accepted request is answered), and the
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -54,6 +62,7 @@ func main() {
 		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
 		queueDepth = flag.Int("queue-depth", 1024, "request queue bound; beyond it requests are rejected (ErrOverloaded)")
 		addr       = flag.String("addr", "", "HTTP listen address (e.g. :8080); empty runs the load generator")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP mux")
 		requests   = flag.Int("requests", 10000, "load-generator request count")
 		clients    = flag.Int("clients", 64, "load-generator concurrent clients")
 	)
@@ -68,7 +77,7 @@ func main() {
 		*shards = plinius.ShardAuto
 	}
 	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *seed,
-		*workers, *shards, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *requests, *clients)
+		*workers, *shards, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *pprofOn, *requests, *clients)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Interrupted before or during serving: the shutdown was
@@ -82,7 +91,7 @@ func main() {
 }
 
 func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed int64,
-	workers, shards, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, requests, clients int) error {
+	workers, shards, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, pprofOn bool, requests, clients int) error {
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
 		Seed:        seed,
@@ -120,7 +129,7 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 	}
 
 	if addr != "" {
-		err = serveHTTP(ctx, srv, addr)
+		err = serveHTTP(ctx, srv, addr, pprofOn)
 	} else {
 		err = loadgen(ctx, srv, ds, requests, clients)
 	}
@@ -155,7 +164,7 @@ func classifyStatus(err error) int {
 
 // serveHTTP exposes the server over a minimal JSON HTTP API until ctx
 // is cancelled, then shuts the listener down gracefully.
-func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
+func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bool) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -226,9 +235,30 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string) error {
 			"shard_prefetched":     st.ShardPrefetched,
 		})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Two registries, one exposition: the process-wide layer
+		// metrics (enclave paging, sealing, PM, mirror, compute) and
+		// the server's own (request counters, latency histogram, and
+		// in shard mode the per-shard pipeline series).
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := plinius.Metrics().WritePrometheus(w); err != nil {
+			return
+		}
+		_ = srv.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"slowest": srv.SlowTraces()})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 
 	hs := &http.Server{Addr: addr, Handler: mux}
 	errCh := make(chan error, 1)

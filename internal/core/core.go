@@ -181,7 +181,7 @@ func New(cfg Config) (*Framework, error) {
 	if f.Host == nil {
 		f.Host = enclave.NewHost(cfg.Server.Enclave)
 	}
-	f.Enclave = f.Host.NewEnclave(enclave.WithSeed(cfg.Seed))
+	f.Enclave = f.Host.NewEnclave(enclave.WithSeed(cfg.Seed), enclave.WithName("train"))
 	f.SSD = storage.NewDevice(cfg.Server.SSD)
 	dev, err := pm.New(cfg.PMBytes, pm.WithProfile(cfg.Server.PM))
 	if err != nil {

@@ -1,16 +1,19 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
 	mrand "math/rand"
 	"strings"
+	"time"
 
 	"plinius/internal/darknet"
 	"plinius/internal/enclave"
 	"plinius/internal/engine"
 	"plinius/internal/mirror"
+	"plinius/internal/obs"
 )
 
 // Replica is a read-only enclave inference worker (the serving-side
@@ -122,7 +125,7 @@ func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64) (*Replica, erro
 		}
 	}
 	r := &Replica{f: f}
-	r.Enclave = host.NewEnclave(enclave.WithSeed(seed))
+	r.Enclave = host.NewEnclave(enclave.WithSeed(seed), enclave.WithName("replica"))
 
 	key, err := f.provisionReplicaKey(r.Enclave)
 	if err != nil {
@@ -163,10 +166,19 @@ func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64) (*Replica, erro
 // network forward inside the replica enclave and returns one class per
 // image.
 func (r *Replica) ClassifyBatch(images []float32) ([]int, error) {
+	return r.ClassifyBatchCtx(context.Background(), images)
+}
+
+// ClassifyBatchCtx is ClassifyBatch with a context: when ctx carries an
+// obs.Trace the enclave forward is recorded as a "compute" span.
+func (r *Replica) ClassifyBatchCtx(ctx context.Context, images []float32) ([]int, error) {
 	if r.closed {
 		return nil, ErrReplicaClosed
 	}
-	return classifyBatch(r.Enclave, r.net, images)
+	start := time.Now()
+	classes, err := classifyBatch(r.Enclave, r.net, images)
+	obs.SpanInto(ctx, "compute", time.Since(start))
+	return classes, err
 }
 
 // Refresh pins the latest published model version, restores it into

@@ -1,17 +1,21 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"plinius/internal/darknet"
 	"plinius/internal/enclave"
 	"plinius/internal/engine"
 	"plinius/internal/mirror"
+	"plinius/internal/obs"
 )
 
 // Model sharding (the serving answer to the Fig. 7 paging knee): a
@@ -81,6 +85,12 @@ type ShardOptions struct {
 	// prefetch behaviour. For benchmarking the prefetch win; leave
 	// false in production.
 	DisablePrefetch bool
+	// Metrics is the registry the group's per-shard counters register
+	// into (shard_restores_total{shard=...} and friends). Nil gives the
+	// group a private registry, so concurrently built groups — every
+	// test — never share series; the serving layer passes its server
+	// registry so shard series surface on /metrics.
+	Metrics *obs.Registry
 }
 
 // shard is one pipeline stage: an enclave owning one contiguous layer
@@ -109,6 +119,16 @@ type shard struct {
 	// restore itself, so failures propagate through the retry, not
 	// through shared error state.
 	restoring chan struct{}
+
+	// Per-shard pipeline counters in the group's registry.
+	mRestores      *obs.Counter
+	mStalls        *obs.Counter
+	mPrefetchWaits *obs.Counter
+	mPrefetched    *obs.Counter
+
+	// Pre-built span stage names ("restore/3", ...), so the traced hot
+	// path does no string building.
+	spanWait, spanRestore, spanOpen, spanCompute, spanSeal string
 }
 
 // shardJob is one micro-batch travelling the pipeline.
@@ -119,6 +139,12 @@ type shardJob struct {
 	classes []int
 	err     error
 	done    chan *shardJob
+
+	// tr, when non-nil, accumulates per-stage spans for the request(s)
+	// riding this batch; handoff is stamped at every stage boundary so
+	// inter-stage queueing shows up as wait/<k> spans.
+	tr      *obs.Trace
+	handoff time.Time
 }
 
 // ShardGroup is a pipelined pool of shard enclaves serving one model.
@@ -145,12 +171,10 @@ type ShardGroup struct {
 	version uint64
 	iter    int
 
-	// Residency/restore counters (atomics: the compute path and the
-	// prefetcher both bump them).
-	restores      atomic.Uint64 // range restores from PM, any path
-	stalls        atomic.Uint64 // full restores on the compute path
-	prefetchWaits atomic.Uint64 // partial waits on an in-flight prefetch
-	prefetched    atomic.Uint64 // restores completed by the prefetcher
+	// reg holds the group's per-shard restore/stall/prefetch counters
+	// (see ShardOptions.Metrics); the compute path and the prefetcher
+	// both bump them, and the accessors sum across shards.
+	reg *obs.Registry
 
 	// Double-buffered restore: while shard k computes a batch, a
 	// background goroutine prefetches shard k+1's range so the batch
@@ -220,6 +244,10 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 		return nil, err
 	}
 
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	g := &ShardGroup{
 		f:          f,
 		host:       host,
@@ -227,6 +255,7 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 		inputSize:  full.InputSize(),
 		overhead:   overhead,
 		noPrefetch: opts.DisablePrefetch,
+		reg:        reg,
 	}
 	fail := func(err error) (*ShardGroup, error) {
 		for _, s := range g.shards {
@@ -236,8 +265,22 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 	}
 	total, maxFootprint := 0, 0
 	for i, r := range plan {
-		encl := host.NewEnclave(enclave.WithSeed(opts.Seed + int64(i) + 1))
-		g.shards = append(g.shards, &shard{idx: i, encl: encl}) // tracked for cleanup
+		encl := host.NewEnclave(enclave.WithSeed(opts.Seed+int64(i)+1), enclave.WithName("shard"))
+		k := strconv.Itoa(i)
+		shardLabel := obs.Label{Key: "shard", Value: k}
+		g.shards = append(g.shards, &shard{ // tracked for cleanup
+			idx:            i,
+			encl:           encl,
+			mRestores:      reg.Counter("shard_restores_total", "Layer-range restores from PM, by shard.", shardLabel),
+			mStalls:        reg.Counter("shard_stage_stall_total", "Batches that paid a full range restore on the compute path, by shard.", shardLabel),
+			mPrefetchWaits: reg.Counter("shard_prefetch_waits_total", "Batches that waited out the remainder of an in-flight prefetch, by shard.", shardLabel),
+			mPrefetched:    reg.Counter("shard_prefetched_restores_total", "Restores completed by the background prefetcher, by shard.", shardLabel),
+			spanWait:       "wait/" + k,
+			spanRestore:    "restore/" + k,
+			spanOpen:       "open/" + k,
+			spanCompute:    "compute/" + k,
+			spanSeal:       "seal/" + k,
+		})
 		key, err := f.provisionReplicaKey(encl)
 		if err != nil {
 			return fail(fmt.Errorf("core: shard %d: %w", i, err))
@@ -482,7 +525,7 @@ func (g *ShardGroup) restoreRange(s *shard, reserved bool) error {
 		_ = s.encl.Free(s.footprint)
 		return err
 	}
-	g.restores.Add(1)
+	s.mRestores.Inc()
 	return nil
 }
 
@@ -518,7 +561,7 @@ func (g *ShardGroup) ensureHot(s *shard) error {
 		}
 		if !waited {
 			waited = true
-			g.prefetchWaits.Add(1)
+			s.mPrefetchWaits.Inc()
 		}
 		s.mu.Unlock()
 		<-ch
@@ -529,7 +572,7 @@ func (g *ShardGroup) ensureHot(s *shard) error {
 	s.restoring = make(chan struct{})
 	s.mu.Unlock()
 	if !waited && g.streaming {
-		g.stalls.Add(1)
+		s.mStalls.Inc()
 	}
 	err := g.restoreRange(s, false)
 	s.finishRestore(err)
@@ -573,7 +616,7 @@ func (g *ShardGroup) tryPrefetch(s *shard) {
 		defer g.prefetchWG.Done()
 		err := s.encl.Ecall(func() error { return g.restoreRange(s, true) })
 		if err == nil {
-			g.prefetched.Add(1)
+			s.mPrefetched.Inc()
 		}
 		s.finishRestore(err)
 	}()
@@ -625,11 +668,21 @@ func (g *ShardGroup) parkSettled(s *shard) {
 // pipeline between every pair of stages.
 func (g *ShardGroup) run(s *shard) {
 	defer g.wg.Done()
+	// Label the stage goroutine so CPU profiles attribute shard compute
+	// to its pipeline stage.
+	pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(s.idx)), func(context.Context) {
+		g.runStage(s)
+	})
+}
+
+// runStage is run's stage loop body.
+func (g *ShardGroup) runStage(s *shard) {
 	last := s.idx == len(g.shards)-1
 	if !last {
 		defer close(g.stages[s.idx+1])
 	}
 	for job := range g.stages[s.idx] {
+		job.tr.Add(s.spanWait, time.Since(job.handoff))
 		if job.err == nil {
 			job.err = g.process(s, job, last)
 		} else if g.streaming {
@@ -641,6 +694,7 @@ func (g *ShardGroup) run(s *shard) {
 			// no-op and orphan the reservation when the restore lands.
 			g.parkSettled(s)
 		}
+		job.handoff = time.Now()
 		if last {
 			job.done <- job
 		} else {
@@ -649,12 +703,16 @@ func (g *ShardGroup) run(s *shard) {
 	}
 }
 
-// process runs one micro-batch through one shard inside its enclave.
+// process runs one micro-batch through one shard inside its enclave,
+// recording per-stage spans (restore, open, compute, seal) on the
+// job's trace so slow requests attribute their time.
 func (g *ShardGroup) process(s *shard, job *shardJob, last bool) error {
 	return s.encl.Ecall(func() error {
+		restoreStart := time.Now()
 		if err := g.ensureHot(s); err != nil {
 			return fmt.Errorf("core: shard %d restore: %w", s.idx, err)
 		}
+		job.tr.Add(s.spanRestore, time.Since(restoreStart))
 		if g.streaming {
 			defer g.park(s)
 		}
@@ -671,16 +729,20 @@ func (g *ShardGroup) process(s *shard, job *shardJob, last bool) error {
 			s.encl.Touch(4 * len(job.plain))
 			in = job.plain
 		} else {
+			openStart := time.Now()
 			s.encl.CopyAcross(len(job.sealed))
 			var err error
 			in, err = s.eng.OpenFloats(job.sealed)
+			job.tr.Add(s.spanOpen, time.Since(openStart))
 			if err != nil {
 				return fmt.Errorf("core: shard %d activations: %w", s.idx, err)
 			}
 			job.sealed = nil
 		}
+		computeStart := time.Now()
 		if last {
 			classes, err := s.net.ClassifyBatch(in, job.n)
+			job.tr.Add(s.spanCompute, time.Since(computeStart))
 			if err != nil {
 				return fmt.Errorf("core: shard %d: %w", s.idx, err)
 			}
@@ -688,10 +750,13 @@ func (g *ShardGroup) process(s *shard, job *shardJob, last bool) error {
 			return nil
 		}
 		out, err := s.net.Forward(in, job.n, false)
+		job.tr.Add(s.spanCompute, time.Since(computeStart))
 		if err != nil {
 			return fmt.Errorf("core: shard %d: %w", s.idx, err)
 		}
+		sealStart := time.Now()
 		sealed, err := s.eng.SealFloats(out)
+		job.tr.Add(s.spanSeal, time.Since(sealStart))
 		if err != nil {
 			return fmt.Errorf("core: shard %d seal: %w", s.idx, err)
 		}
@@ -706,6 +771,15 @@ func (g *ShardGroup) process(s *shard, job *shardJob, last bool) error {
 // the pipeline full, up to the residency window. The images slice must
 // stay unmodified until the call returns.
 func (g *ShardGroup) ClassifyBatch(images []float32) ([]int, error) {
+	return g.ClassifyBatchCtx(context.Background(), images)
+}
+
+// ClassifyBatchCtx is ClassifyBatch with a context: when ctx carries an
+// obs.Trace the batch records per-stage spans (window admission wait,
+// then wait/restore/open/compute/seal per shard) onto it. The context
+// does not cancel an admitted batch — every accepted job rides the
+// pipeline to completion so ordering and delivery hold.
+func (g *ShardGroup) ClassifyBatchCtx(ctx context.Context, images []float32) ([]int, error) {
 	if len(images) == 0 || len(images)%g.inputSize != 0 {
 		return nil, fmt.Errorf("core: shard classify: %d floats is not a positive multiple of the %d-float input", len(images), g.inputSize)
 	}
@@ -713,13 +787,16 @@ func (g *ShardGroup) ClassifyBatch(images []float32) ([]int, error) {
 	if n > g.batch {
 		return nil, fmt.Errorf("%w: %d > %d", ErrShardBatch, n, g.batch)
 	}
-	job := &shardJob{n: n, plain: images, done: make(chan *shardJob, 1)}
+	job := &shardJob{n: n, plain: images, tr: obs.TraceFrom(ctx), done: make(chan *shardJob, 1)}
+	admit := time.Now()
 	g.submitMu.Lock()
 	if g.closed {
 		g.submitMu.Unlock()
 		return nil, ErrShardGroupClosed
 	}
 	g.slots <- struct{}{}
+	job.tr.Add("window", time.Since(admit))
+	job.handoff = time.Now()
 	g.stages[0] <- job
 	g.submitMu.Unlock()
 	<-job.done
@@ -933,23 +1010,43 @@ func (g *ShardGroup) Iteration() int {
 	return g.iter
 }
 
+// sumShardCounter totals one per-shard counter across the group.
+func (g *ShardGroup) sumShardCounter(pick func(*shard) *obs.Counter) uint64 {
+	var total float64
+	for _, s := range g.shards {
+		total += pick(s).Value()
+	}
+	return uint64(total)
+}
+
 // Restores counts range restores from PM — in streaming mode, the
 // price paid per batch per parked shard instead of the paging knee.
-func (g *ShardGroup) Restores() uint64 { return g.restores.Load() }
+func (g *ShardGroup) Restores() uint64 {
+	return g.sumShardCounter(func(s *shard) *obs.Counter { return s.mRestores })
+}
 
 // Stalls counts pipeline stalls: batches that arrived at a parked
 // stage with no restore in flight and paid the full range restore on
 // the compute path. With double-buffered restore most batches find
 // their stage hot or mid-restore, so this stays near the per-batch
 // stage-0 floor; with DisablePrefetch it approaches batches x shards.
-func (g *ShardGroup) Stalls() uint64 { return g.stalls.Load() }
+func (g *ShardGroup) Stalls() uint64 {
+	return g.sumShardCounter(func(s *shard) *obs.Counter { return s.mStalls })
+}
 
 // PrefetchWaits counts batches that arrived while their stage's
 // prefetch was still in flight and paid only the unfinished remainder
 // of the restore.
-func (g *ShardGroup) PrefetchWaits() uint64 { return g.prefetchWaits.Load() }
+func (g *ShardGroup) PrefetchWaits() uint64 {
+	return g.sumShardCounter(func(s *shard) *obs.Counter { return s.mPrefetchWaits })
+}
 
 // PrefetchedRestores counts range restores completed by the
 // background prefetcher — restore work overlapped with compute instead
 // of stalling the pipeline.
-func (g *ShardGroup) PrefetchedRestores() uint64 { return g.prefetched.Load() }
+func (g *ShardGroup) PrefetchedRestores() uint64 {
+	return g.sumShardCounter(func(s *shard) *obs.Counter { return s.mPrefetched })
+}
+
+// Metrics returns the registry holding the group's per-shard counters.
+func (g *ShardGroup) Metrics() *obs.Registry { return g.reg }

@@ -4,6 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
+
+	"plinius/internal/obs"
+)
+
+// Process-wide model-compute counters across all Network instances
+// (training enclave, replicas, shards).
+var (
+	mForwardPasses  = obs.Default().Counter("darknet_forward_passes_total", "Full forward passes (training and inference).")
+	mForwardSeconds = obs.Default().Counter("darknet_forward_seconds_total", "Wall seconds spent in full forward passes.")
+	mTrainBatches   = obs.Default().Counter("darknet_train_batches_total", "SGD training iterations.")
+	mSamples        = obs.Default().Counter("darknet_samples_total", "Samples pushed through full forward passes.")
 )
 
 // NetConfig holds the [net] section hyper-parameters. Per the threat
@@ -145,6 +157,7 @@ func (n *Network) Forward(x []float32, batch int, train bool) ([]float32, error)
 	if len(n.Layers) == 0 {
 		return nil, ErrEmptyNetwork
 	}
+	start := time.Now()
 	cur := x
 	for i, l := range n.Layers {
 		out, err := l.Forward(cur, batch, train)
@@ -153,6 +166,9 @@ func (n *Network) Forward(x []float32, batch int, train bool) ([]float32, error)
 		}
 		cur = out
 	}
+	mForwardPasses.Inc()
+	mForwardSeconds.Add(time.Since(start).Seconds())
+	mSamples.Add(float64(batch))
 	return cur, nil
 }
 
@@ -181,6 +197,7 @@ func (n *Network) TrainBatch(x, y []float32, batch int) (float32, error) {
 		l.Update(n.Config.LearningRate, n.Config.Momentum, n.Config.Decay)
 	}
 	n.Iteration++
+	mTrainBatches.Inc()
 	return loss, nil
 }
 

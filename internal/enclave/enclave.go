@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"plinius/internal/obs"
 	"plinius/internal/simclock"
 )
 
@@ -133,9 +134,18 @@ type Enclave struct {
 	heapLimit int
 	allocated int
 	closed    bool
+	name      string
 	rng       *rand.Rand
 	sealKey   [16]byte
 	stats     Stats
+
+	// Role-labeled counters in the process-wide obs registry, shared by
+	// every enclave with the same name — bounded cardinality however
+	// many replicas or shards a test spins up.
+	mEcalls     *obs.Counter
+	mOcalls     *obs.Counter
+	mSwaps      *obs.Counter
+	mContention *obs.Counter
 }
 
 // Option configures an Enclave.
@@ -155,6 +165,13 @@ func WithHeapLimit(n int) Option {
 // tests. Production callers omit it.
 func WithSeed(seed int64) Option {
 	return func(e *Enclave) { e.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithName labels the enclave's metrics with a role ("train",
+// "replica", "shard"). Names are roles, not instance ids, so series
+// cardinality stays bounded however many enclaves share one.
+func WithName(name string) Option {
+	return func(e *Enclave) { e.name = name }
 }
 
 // New creates an enclave on a private, freshly created host with the
@@ -187,6 +204,15 @@ func newEnclave(host *Host, opts ...Option) *Enclave {
 	// Derive a per-enclave sealing key from the RNG, standing in for the
 	// CPU's EGETKEY-derived seal key.
 	e.rng.Read(e.sealKey[:])
+	if e.name == "" {
+		e.name = "anon"
+	}
+	role := obs.Label{Key: "enclave", Value: e.name}
+	reg := obs.Default()
+	e.mEcalls = reg.Counter("enclave_ecalls_total", "Ecall boundary crossings, by enclave role.", role)
+	e.mOcalls = reg.Counter("enclave_ocalls_total", "Ocall boundary crossings, by enclave role.", role)
+	e.mSwaps = reg.Counter("epc_page_swaps_total", "EPC page faults charged on Touch, by enclave role.", role)
+	e.mContention = reg.Counter("epc_contention_swaps_total", "EPC faults paid while the enclave's own footprint fit the usable EPC — co-location contention, by enclave role.", role)
 	return e
 }
 
@@ -205,6 +231,7 @@ func (e *Enclave) Ecall(fn func() error) error {
 	e.mu.Lock()
 	e.stats.Ecalls++
 	e.mu.Unlock()
+	e.mEcalls.Inc()
 	e.clock.Advance(e.prof.TransitionCost())
 	return fn()
 }
@@ -215,6 +242,7 @@ func (e *Enclave) Ocall(fn func() error) error {
 	e.mu.Lock()
 	e.stats.Ocalls++
 	e.mu.Unlock()
+	e.mOcalls.Inc()
 	e.clock.Advance(e.prof.TransitionCost())
 	return fn()
 }
@@ -335,10 +363,15 @@ func (e *Enclave) Touch(n int) {
 	faults := uint64((n + PageSize - 1) / PageSize)
 	e.mu.Lock()
 	e.stats.PageSwaps += faults
-	if footprint <= e.host.UsableEPC() {
+	contended := footprint <= e.host.UsableEPC()
+	if contended {
 		e.stats.ContentionSwaps += faults
 	}
 	e.mu.Unlock()
+	e.mSwaps.AddUint(faults)
+	if contended {
+		e.mContention.AddUint(faults)
+	}
 	e.host.countSwaps(faults)
 	e.clock.Advance(time.Duration(faults) * e.prof.PageSwapCost)
 }

@@ -16,6 +16,7 @@ import (
 	"plinius/internal/engine"
 	"plinius/internal/mirror"
 	"plinius/internal/mnist"
+	"plinius/internal/obs"
 	"plinius/internal/pm"
 	"plinius/internal/romulus"
 )
@@ -55,6 +56,12 @@ type PerfResult struct {
 	ShardPrefetched     uint64  `json:"shard_prefetched_restores"`
 	ShardWallMsNoPf     float64 `json:"shard_wall_ms_noprefetch"`
 	ShardWallMsPrefetch float64 `json:"shard_wall_ms_prefetch"`
+
+	// Metrics is the flattened obs-registry snapshot at the end of the
+	// run — the process-wide layer counters (enclave, engine, pm,
+	// mirror, darknet) plus the shard benchmark's per-shard series —
+	// keyed name{label=value}, histograms as _count/_sum pairs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // PerfConfig scales RunPerf.
@@ -215,6 +222,10 @@ func perfShard(cfg PerfConfig, res *PerfResult) error {
 	if cfg.Quick {
 		sizeMB, epcMB, batches = 6, 3, 4
 	}
+	// One registry across both runs: the embedded snapshot totals the
+	// prefetch-off and prefetch-on passes' per-shard series.
+	reg := obs.NewRegistry()
+	defer func() { res.Metrics = obs.Flatten(obs.Default(), reg) }()
 	server := core.SGXEmlPM()
 	cfgText, err := core.SyntheticModelConfig(sizeMB << 20)
 	if err != nil {
@@ -242,6 +253,7 @@ func perfShard(cfg PerfConfig, res *PerfResult) error {
 			OverheadBytes:   64 << 10,
 			Seed:            cfg.Seed + 100,
 			DisablePrefetch: disablePrefetch,
+			Metrics:         reg,
 		})
 		if err != nil {
 			return 0, 0, 0, 0, err

@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"plinius/internal/core"
 	"plinius/internal/enclave"
 	"plinius/internal/mnist"
+	"plinius/internal/obs"
 )
 
 // Sharded-serving experiment: the serving-side answer to the Fig. 7
@@ -58,6 +62,11 @@ type ShardRow struct {
 	ServeWall time.Duration
 	// Batches is the number of micro-batches served.
 	Batches int
+	// SlowWall is the slowest batch's end-to-end latency, and
+	// SlowSpans its per-stage trace (wait/restore/open/compute/seal per
+	// shard) — the attribution of where that batch's time went.
+	SlowWall  time.Duration
+	SlowSpans []obs.SpanRec
 }
 
 // ShardResult holds one sharded-serving comparison.
@@ -177,19 +186,28 @@ func RunShard(server core.ServerProfile, sizeMB, epcMB, batches, batch int, seed
 			errMu    sync.Mutex
 			batchErr error
 		)
+		// Each batch carries a request-scoped trace so the slowest one
+		// can be attributed stage by stage afterwards.
 		for b := 0; b < batches; b++ {
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(b int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				if _, err := g.ClassifyBatch(images[b*batch*in : (b+1)*batch*in]); err != nil {
-					errMu.Lock()
-					if batchErr == nil {
-						batchErr = fmt.Errorf("%s batch %d: %w", pf.mode, b, err)
-					}
-					errMu.Unlock()
+				tr := obs.NewTrace()
+				t0 := time.Now()
+				_, err := g.ClassifyBatchCtx(obs.ContextWithTrace(context.Background(), tr), images[b*batch*in:(b+1)*batch*in])
+				wall := time.Since(t0)
+				spans := tr.Spans()
+				tr.Finish()
+				errMu.Lock()
+				if err != nil && batchErr == nil {
+					batchErr = fmt.Errorf("%s batch %d: %w", pf.mode, b, err)
 				}
+				if err == nil && wall > sharded.SlowWall {
+					sharded.SlowWall, sharded.SlowSpans = wall, spans
+				}
+				errMu.Unlock()
 			}(b)
 		}
 		wg.Wait()
@@ -233,4 +251,28 @@ func (r ShardResult) Print(w io.Writer) {
 			row.PMRestores, row.Stalls, row.Prefetched, ms(row.ServeWall), regime)
 	}
 	tw.Flush()
+	// Slowest-batch attribution: the per-shard stage spans (wait/k,
+	// restore/k, open/k, compute/k, seal/k) folded by stage kind, so
+	// the restore-vs-compute split of the worst batch is one line.
+	for _, row := range r.Rows {
+		if len(row.SlowSpans) == 0 {
+			continue
+		}
+		agg := make(map[string]time.Duration)
+		var order []string
+		for _, sp := range row.SlowSpans {
+			kind, _, _ := strings.Cut(sp.Stage, "/")
+			if _, ok := agg[kind]; !ok {
+				order = append(order, kind)
+			}
+			agg[kind] += sp.Dur
+		}
+		sort.SliceStable(order, func(i, j int) bool { return agg[order[i]] > agg[order[j]] })
+		parts := make([]string, 0, len(order))
+		for _, kind := range order {
+			parts = append(parts, fmt.Sprintf("%s %s (%.0f%%)",
+				kind, ms(agg[kind]), 100*float64(agg[kind])/float64(row.SlowWall)))
+		}
+		fmt.Fprintf(w, "slowest %s batch %s: %s\n", row.Mode, ms(row.SlowWall), strings.Join(parts, ", "))
+	}
 }

@@ -45,6 +45,9 @@ var untrustedPackages = map[string]bool{
 	// marshalling) is untrusted-runtime plumbing; classification
 	// itself runs in the replica enclaves (core.Replica).
 	"serve": true,
+	// Telemetry (metric registry, tracing, exposition) observes the
+	// enclave pipeline from outside; nothing secret crosses into it.
+	"obs": true,
 }
 
 // TCBResult is the LOC split.

@@ -23,7 +23,21 @@ import (
 	"plinius/internal/darknet"
 	"plinius/internal/enclave"
 	"plinius/internal/engine"
+	"plinius/internal/obs"
 	"plinius/internal/romulus"
+)
+
+// Process-wide mirror counters: every mirror_out/mirror_in in the
+// process, with the AES time each spent — the paper's Fig. 7/8 cost
+// split, live. The per-Model LastSeal/LastOpenDuration accessors keep
+// their last-operation semantics; these accumulate.
+var (
+	mMirrorOut     = obs.Default().Counter("mirror_out_total", "mirror_out durable save transactions.")
+	mMirrorIn      = obs.Default().Counter("mirror_in_total", "mirror_in (full or range) restores.")
+	mSealSeconds   = obs.Default().Counter("mirror_seal_seconds_total", "Seconds of AES-GCM sealing inside mirror_out (summed across workers).")
+	mOpenSeconds   = obs.Default().Counter("mirror_open_seconds_total", "Seconds of AES-GCM opening inside mirror_in (summed across workers).")
+	mMirroredBytes = obs.Default().Counter("mirror_sealed_payload_bytes_total", "Sealed payload bytes written by mirror_out.")
+	mRestoredBytes = obs.Default().Counter("mirror_restored_payload_bytes_total", "Sealed payload bytes read back by mirror_in.")
 )
 
 // Root slots used by Plinius in the Romulus root table.
@@ -433,7 +447,7 @@ func (m *Model) MirrorOut(net *darknet.Network) error {
 	m.lastSeal.Store(0)
 	tasks, total := m.collectTasks(paramLayers, 0)
 	workers := mirrorWorkers(len(tasks), total)
-	return m.rom.Update(func() error {
+	err := m.rom.Update(func() error {
 		if err := m.rom.StoreUint64(m.headOff+modelHdrIter, uint64(net.Iteration)); err != nil {
 			return err
 		}
@@ -517,6 +531,12 @@ func (m *Model) MirrorOut(net *darknet.Network) error {
 		wg.Wait()
 		return firstErr
 	})
+	if err == nil {
+		mMirrorOut.Inc()
+		mSealSeconds.Add(time.Duration(m.lastSeal.Load()).Seconds())
+		mMirroredBytes.Add(float64(total))
+	}
+	return err
 }
 
 // MirrorIn reads the persistent mirror, decrypts it inside the enclave
@@ -636,6 +656,9 @@ func (m *Model) mirrorInFrom(net *darknet.Network, paramLayers [][][]float32, fr
 		return 0, firstErr
 	}
 	net.Iteration = int(iter)
+	mMirrorIn.Inc()
+	mOpenSeconds.Add(time.Duration(m.lastOpen.Load()).Seconds())
+	mRestoredBytes.Add(float64(total))
 	return int(iter), nil
 }
 

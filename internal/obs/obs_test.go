@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryGetOrCreate: the same name+labels returns the same
+// handle; different label values give distinct series; re-registering
+// a name as a different kind panics.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("swaps_total", "h", Label{"enclave", "train"})
+	b := r.Counter("swaps_total", "h", Label{"enclave", "train"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("swaps_total", "h", Label{"enclave", "replica"})
+	if a == c {
+		t.Fatal("different label values shared a counter")
+	}
+	a.Add(2)
+	a.Inc()
+	if got := b.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	a.Add(-5) // counters never go down
+	if got := a.Value(); got != 3 {
+		t.Fatalf("counter after negative add = %v, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("swaps_total", "h")
+}
+
+// TestGauge: gauges move both ways.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pressure", "h")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+// TestFuncMetrics: func-backed series are evaluated at gather time and
+// re-registration replaces the callback.
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.CounterFunc("reqs_total", "h", func() float64 { return v })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Series[0].Value != 7 {
+		t.Fatalf("snapshot = %+v, want one series of 7", snap)
+	}
+	r.CounterFunc("reqs_total", "h", func() float64 { return 42 })
+	if got := r.Snapshot()[0].Series[0].Value; got != 42 {
+		t.Fatalf("after re-register = %v, want 42", got)
+	}
+}
+
+// TestRegistryConcurrency hammers register/observe/snapshot from many
+// goroutines — run under -race, this is the registry's thread-safety
+// proof. Snapshot totals must equal what was recorded.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 500
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	// A snapshotter races with the writers; histogram snapshots must
+	// always be internally consistent.
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, fam := range r.Snapshot() {
+				for _, s := range fam.Series {
+					if s.Hist == nil {
+						continue
+					}
+					var sum uint64
+					for _, n := range s.Hist.Buckets {
+						sum += n
+					}
+					if sum != s.Hist.Count {
+						t.Errorf("histogram snapshot inconsistent: buckets sum %d, count %d", sum, s.Hist.Count)
+						return
+					}
+				}
+			}
+		}
+	}()
+	labels := []string{"train", "replica", "shard"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Register-or-get on every iteration: the get path must
+				// be safe concurrently with first-registration.
+				r.Counter("ops_total", "h", Label{"role", labels[i%len(labels)]}).Inc()
+				r.Gauge("level", "h").Set(float64(i))
+				r.Histogram("latency_seconds", "h").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+	var total float64
+	for _, fam := range r.Snapshot() {
+		if fam.Name != "ops_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+	}
+	if total != float64(workers*perWorker) {
+		t.Fatalf("ops_total = %v, want %d", total, workers*perWorker)
+	}
+	h := r.Histogram("latency_seconds", "h").Snapshot()
+	if h.Count != uint64(workers*perWorker) {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+}
+
+// TestHistogramQuantiles ports the serving layer's percentile
+// semantics: nearest-rank, bucket upper bounds, max-tightened.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != 4*time.Microsecond {
+		t.Fatalf("P50 = %v, want 4µs", got)
+	}
+	if got := s.Quantile(0.95); got != 1000*time.Microsecond {
+		t.Fatalf("P95 = %v, want the max-tightened 1ms", got)
+	}
+	if got := s.Quantile(0.99); got != 1000*time.Microsecond {
+		t.Fatalf("P99 = %v, want 1ms", got)
+	}
+	if got, want := s.Mean(), (90*3*time.Microsecond+10*1000*time.Microsecond)/100; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if (HistSnapshot{}).Quantile(0.99) != 0 {
+		t.Fatal("empty histogram reported a quantile")
+	}
+}
+
+// TestFlatten: flattening renders labeled keys and histogram suffixes.
+func TestFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h", Label{"shard", "0"}).Add(3)
+	r.Histogram("lat", "h").Observe(2 * time.Millisecond)
+	m := Flatten(r)
+	if m["a_total{shard=0}"] != 3 {
+		t.Fatalf("flatten counter = %v", m)
+	}
+	if m["lat_count"] != 1 {
+		t.Fatalf("flatten hist count = %v", m)
+	}
+	if m["lat_sum"] != 0.002 {
+		t.Fatalf("flatten hist sum = %v", m)
+	}
+	if !strings.Contains(keysOf(m), "a_total{shard=0}") {
+		t.Fatalf("keys = %v", keysOf(m))
+	}
+}
+
+func keysOf(m map[string]float64) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+		b.WriteByte(' ')
+	}
+	return b.String()
+}

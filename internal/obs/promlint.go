@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text exposition: every sample
+// line must parse, belong to a family declared with a preceding # TYPE
+// line (histogram and summary suffixes included), carry a well-formed
+// label set, and no two samples may share a name and label set. It
+// returns the set of family names seen, and the first violation as an
+// error. This is the check the CI smoke job runs against a live
+// /metrics endpoint.
+func LintPrometheus(r io.Reader) (map[string]string, error) {
+	types := make(map[string]string)  // family → type
+	seen := make(map[string]struct{}) // name+labelset → dup guard
+	sampled := make(map[string]bool)  // family → has samples
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Other comments are legal and ignored.
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, name, fields[1])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE line without a type", lineNo)
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+				}
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE declaration for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, ok := sampleFamily(name, types)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no # TYPE declaration", lineNo, name)
+		}
+		sampled[fam] = true
+		if _, err := parseSampleValue(value); err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q for %s", lineNo, value, name)
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return types, nil
+}
+
+// sampleFamily resolves a sample name to its declared family, peeling
+// histogram/summary suffixes when the base family is declared with a
+// matching type.
+func sampleFamily(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suf)
+		if !found {
+			continue
+		}
+		typ, ok := types[base]
+		if !ok {
+			continue
+		}
+		if typ == "histogram" || (typ == "summary" && suf != "_bucket") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// parseSample splits a sample line into name, raw labels and value.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		k := strings.IndexAny(rest, " \t")
+		if k < 0 {
+			return "", "", "", fmt.Errorf("sample without value: %q", line)
+		}
+		name = rest[:k]
+		rest = strings.TrimSpace(rest[k:])
+	}
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if _, err := parseLabelPairs(labels); err != nil {
+		return "", "", "", err
+	}
+	// A timestamp may follow the value; only the value is validated.
+	if k := strings.IndexAny(rest, " \t"); k >= 0 {
+		rest = rest[:k]
+	}
+	if rest == "" {
+		return "", "", "", fmt.Errorf("sample without value: %q", line)
+	}
+	return name, labels, rest, nil
+}
+
+// parseLabelPairs validates k="v" pairs and returns them.
+func parseLabelPairs(s string) ([]Label, error) {
+	var out []Label
+	rest := s
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair without '=' in %q", s)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				rest = rest[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}
+
+// canonicalLabels re-encodes a raw label string sorted by key so
+// duplicate detection is order-insensitive.
+func canonicalLabels(s string) string {
+	pairs, err := parseLabelPairs(s)
+	if err != nil || len(pairs) == 0 {
+		return s
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p.Key + "=" + strconv.Quote(p.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseSampleValue accepts floats plus the exposition specials.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return 0, nil
+	case "-Inf":
+		return 0, nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -20,11 +20,26 @@ import (
 	"sync"
 	"time"
 
+	"plinius/internal/obs"
 	"plinius/internal/simclock"
 )
 
 // CacheLineSize is the unit of persistence, matching x86 cache lines.
 const CacheLineSize = 64
+
+// Process-wide PM traffic counters, aggregated across every Device in
+// the process. Per-device deltas stay on Device.Stats (the experiment
+// harness resets those); these totals feed the /metrics surface.
+var (
+	mStores       = obs.Default().Counter("pm_stores_total", "PM store operations.")
+	mLoads        = obs.Default().Counter("pm_loads_total", "PM load operations.")
+	mBytesStored  = obs.Default().Counter("pm_bytes_stored_total", "Bytes stored to PM.")
+	mBytesLoaded  = obs.Default().Counter("pm_bytes_loaded_total", "Bytes loaded from PM.")
+	mFlushes      = obs.Default().Counter("pm_flushes_total", "Persistent write-back calls.")
+	mFlushedLines = obs.Default().Counter("pm_flushed_lines_total", "Cache lines written back to PM media.")
+	mFences       = obs.Default().Counter("pm_fences_total", "Ordering fences issued.")
+	mCrashes      = obs.Default().Counter("pm_crashes_total", "Simulated power failures.")
+)
 
 // FlushKind selects the persistent write-back instruction flavour.
 type FlushKind int
@@ -234,6 +249,8 @@ func (d *Device) Store(off int, data []byte) error {
 		}
 		d.stats.Stores++
 		d.stats.BytesStored += uint64(len(data))
+		mStores.Inc()
+		mBytesStored.Add(float64(len(data)))
 		d.clock.Advance(time.Duration(last-first+1) * d.prof.Store)
 	}
 	return nil
@@ -251,6 +268,8 @@ func (d *Device) Load(off int, buf []byte) error {
 		first, last := lineRange(off, len(buf))
 		d.stats.Loads++
 		d.stats.BytesLoaded += uint64(len(buf))
+		mLoads.Inc()
+		mBytesLoaded.Add(float64(len(buf)))
 		d.clock.Advance(time.Duration(last-first+1) * d.prof.Load)
 	}
 	return nil
@@ -280,6 +299,8 @@ func (d *Device) Flush(off, n int, kind FlushKind) error {
 	lines := last - first + 1
 	d.stats.Flushes++
 	d.stats.FlushedLines += uint64(lines)
+	mFlushes.Inc()
+	mFlushedLines.Add(float64(lines))
 	d.clock.Advance(time.Duration(lines) * d.prof.flushCost(kind))
 	return nil
 }
@@ -290,6 +311,7 @@ func (d *Device) Fence() {
 	d.mu.Lock()
 	d.stats.Fences++
 	d.mu.Unlock()
+	mFences.Inc()
 	d.clock.Advance(d.prof.Fence)
 }
 
@@ -305,6 +327,7 @@ func (d *Device) Crash() {
 	}
 	d.dirtyN = 0
 	d.stats.Crashes++
+	mCrashes.Inc()
 }
 
 // DirtyLines returns the number of cache lines with unflushed stores.

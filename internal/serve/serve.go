@@ -50,12 +50,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"plinius/internal/core"
 	"plinius/internal/enclave"
+	"plinius/internal/obs"
 )
 
 // Defaults for Options fields left zero.
@@ -123,6 +126,14 @@ type Options struct {
 	// in shard mode (default core.DefaultShardOverheadBytes). Small
 	// hosts shard at finer granularity with a smaller overhead.
 	ShardOverheadBytes int
+	// Metrics is the registry the server's metrics (and, in shard
+	// mode, the shard pipeline's) register into. Nil gets the server a
+	// private registry, retrievable via Server.Metrics — servers are
+	// built and torn down freely without colliding on series.
+	Metrics *obs.Registry
+	// TraceKeep is how many of the slowest request traces the server
+	// retains for Server.SlowTraces (default obs.DefaultTraceKeep).
+	TraceKeep int
 }
 
 func (o Options) withDefaults() Options {
@@ -166,10 +177,12 @@ var (
 )
 
 type request struct {
-	ctx   context.Context
-	image []float32
-	enq   time.Time
-	done  chan result
+	ctx        context.Context
+	image      []float32
+	enq        time.Time
+	dispatched time.Time // stamped by the batcher when the batch flushes
+	tr         *obs.Trace
+	done       chan result
 }
 
 type result struct {
@@ -219,7 +232,9 @@ type Server struct {
 	iter   atomic.Int64  // training iteration of the served model
 	ver    atomic.Uint64 // published version of the served model
 
-	stats statsCollector
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	stats  statsCollector
 }
 
 // New builds and starts a Server on f's model. The current enclave
@@ -260,6 +275,10 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 			return nil, fmt.Errorf("serve: publish model to PM: %w", err)
 		}
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		opts:      opts,
 		f:         f,
@@ -267,7 +286,16 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 		inputSize: f.Net.InputSize(),
 		reqCh:     make(chan *request, opts.QueueDepth),
 		batchCh:   make(chan []*request),
+		reg:       reg,
+		tracer:    obs.NewTracer(opts.TraceKeep),
+		stats:     newStatsCollector(reg),
 	}
+	reg.GaugeFunc("serve_epc_pressure", "Host EPC overcommit fraction (0 = working set fits the usable EPC).",
+		func() float64 { return s.host.Overcommit() })
+	reg.GaugeFunc("serve_host_resident_bytes", "Aggregate enclave working set on the host.",
+		func() float64 { return float64(s.host.Resident()) })
+	reg.GaugeFunc("serve_queue_len", "Requests currently queued for batching.",
+		func() float64 { return float64(len(s.reqCh)) })
 
 	// Sharded serving: explicit Options.Shards, or ShardAuto when even
 	// one whole-model replica would blow past the host's remaining EPC
@@ -286,6 +314,7 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 			Batch:         opts.MaxBatch,
 			Seed:          opts.Seed,
 			OverheadBytes: opts.ShardOverheadBytes,
+			Metrics:       reg,
 		}
 		if opts.Shards > 0 {
 			so.Shards = opts.Shards
@@ -298,7 +327,6 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 		s.workers = g.Window()
 		s.iter.Store(int64(g.Iteration()))
 		s.ver.Store(g.Version())
-		s.stats.start = time.Now()
 		s.wg.Add(1 + s.workers)
 		go s.batcher()
 		for i := 0; i < s.workers; i++ {
@@ -330,7 +358,6 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	s.workers = opts.Workers
 	s.iter.Store(int64(s.replicas[0].Iteration()))
 	s.ver.Store(ver)
-	s.stats.start = time.Now()
 	s.wg.Add(1 + opts.Workers)
 	go s.batcher()
 	for i, rep := range s.replicas {
@@ -371,6 +398,18 @@ func autoWorkers(f *core.Framework) int {
 // ErrOverloaded; a request whose ctx expires while queued is dropped
 // without occupying a batch slot.
 func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, error) {
+	// One trace per request, closed on every exit path: the tracer's
+	// active count returns to zero whenever the server is idle.
+	tr := s.tracer.Start()
+	pred, err := s.classify(ctx, image, tr)
+	if err != nil {
+		tr.Fail(err)
+	}
+	tr.Finish()
+	return pred, err
+}
+
+func (s *Server) classify(ctx context.Context, image []float32, tr *obs.Trace) (Prediction, error) {
 	if err := ctx.Err(); err != nil {
 		return Prediction{}, err
 	}
@@ -384,7 +423,7 @@ func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, err
 				ErrOverloaded, p, s.opts.MaxEPCPressure, ErrEPCPressure)
 		}
 	}
-	req := &request{ctx: ctx, image: image, enq: time.Now(), done: make(chan result, 1)}
+	req := &request{ctx: ctx, image: image, enq: time.Now(), tr: tr, done: make(chan result, 1)}
 
 	s.mu.RLock()
 	if s.closed {
@@ -405,6 +444,12 @@ func (s *Server) Classify(ctx context.Context, image []float32) (Prediction, err
 
 	select {
 	case res := <-req.done:
+		if res.err == nil {
+			// The wakeup gap between the worker stamping the result
+			// and this goroutine consuming it, so a request's spans
+			// tile its end-to-end latency.
+			tr.Add("deliver", time.Since(req.enq)-res.pred.Latency)
+		}
 		return res.pred, res.err
 	case <-ctx.Done():
 		return Prediction{}, ctx.Err()
@@ -429,6 +474,10 @@ func (s *Server) batcher() {
 			timer, timerC = nil, nil
 		}
 		if len(batch) > 0 {
+			now := time.Now()
+			for _, req := range batch {
+				req.dispatched = now
+			}
 			s.batchCh <- batch
 			batch = nil
 		}
@@ -465,7 +514,7 @@ func (s *Server) batcher() {
 // the post-classification version) or the batch error. live is reused
 // across calls; the possibly-regrown slice is returned.
 func (s *Server) serveBatch(id int, batch, live []*request, buf []float32,
-	classify func([]float32) ([]int, error), version func() uint64) []*request {
+	classify func(context.Context, []float32) ([]int, error), version func() uint64) []*request {
 	live = live[:0]
 	for _, req := range batch {
 		if req.ctx.Err() != nil {
@@ -481,12 +530,28 @@ func (s *Server) serveBatch(id int, batch, live []*request, buf []float32,
 	for i, req := range live {
 		copy(buf[i*s.inputSize:(i+1)*s.inputSize], req.image)
 	}
-	classes, err := classify(buf[:n*s.inputSize])
+	// One batch-level trace collects the pipeline's spans (window,
+	// per-shard wait/restore/open/compute/seal, or the replica's
+	// compute), folded into every rider's request trace below. The
+	// pprof labels attribute the enclave compute in CPU profiles to
+	// the worker and the batch's lead request.
+	bt := obs.NewTrace()
+	dispatch := time.Now()
+	var (
+		classes []int
+		err     error
+	)
+	pprof.Do(obs.ContextWithTrace(context.Background(), bt),
+		pprof.Labels("worker", strconv.Itoa(id), "request_id", strconv.FormatUint(live[0].tr.ID(), 10)),
+		func(ctx context.Context) {
+			classes, err = classify(ctx, buf[:n*s.inputSize])
+		})
 	now := time.Now()
 	var ver uint64
 	if err == nil {
 		ver = version()
 	}
+	spans := bt.Spans()
 	for i, req := range live {
 		if err != nil {
 			req.done <- result{err: err}
@@ -500,6 +565,9 @@ func (s *Server) serveBatch(id int, batch, live []*request, buf []float32,
 			ModelVersion: ver,
 		}
 		s.stats.record(pred)
+		req.tr.Add("queue", req.dispatched.Sub(req.enq))
+		req.tr.Add("batch", dispatch.Sub(req.dispatched))
+		req.tr.AddSpans(spans)
 		req.done <- result{pred: pred}
 	}
 	if err == nil {
@@ -521,7 +589,7 @@ func (s *Server) worker(id int, rep *core.Replica, ctl <-chan ctlCall) {
 			if !ok {
 				return
 			}
-			live = s.serveBatch(id, batch, live, buf, rep.ClassifyBatch, rep.Version)
+			live = s.serveBatch(id, batch, live, buf, rep.ClassifyBatchCtx, rep.Version)
 		case call := <-ctl:
 			var reply ctlReply
 			switch call.kind {
@@ -545,7 +613,7 @@ func (s *Server) shardWorker(id int) {
 	buf := make([]float32, s.opts.MaxBatch*s.inputSize)
 	live := make([]*request, 0, s.opts.MaxBatch)
 	for batch := range s.batchCh {
-		live = s.serveBatch(id, batch, live, buf, s.group.ClassifyBatch, s.group.Version)
+		live = s.serveBatch(id, batch, live, buf, s.group.ClassifyBatchCtx, s.group.Version)
 	}
 }
 
@@ -760,3 +828,18 @@ func (s *Server) Stats() Stats {
 // plus every replica) fits the usable EPC, positive once it does not —
 // the regime where every request pays the shared paging knee.
 func (s *Server) EPCPressure() float64 { return s.host.Overcommit() }
+
+// Metrics returns the server's metric registry (Options.Metrics, or
+// the private registry created when none was given): the serving
+// counters, latency histogram, EPC gauges, and — in shard mode — the
+// shard pipeline's per-shard series.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Tracer returns the server's request tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SlowTraces returns the retained slowest-request traces, slowest
+// first: each carries the per-stage spans (queue, batch, and the
+// pipeline's window/wait/restore/open/compute/seal) that tile the
+// request's end-to-end latency.
+func (s *Server) SlowTraces() []obs.TraceSnapshot { return s.tracer.Slowest() }

@@ -1,10 +1,9 @@
 package serve
 
 import (
-	"math"
-	"math/bits"
-	"sync"
 	"time"
+
+	"plinius/internal/obs"
 )
 
 // Stats is a snapshot of a Server's serving counters.
@@ -61,120 +60,76 @@ type Stats struct {
 	ShardPrefetched    uint64
 }
 
-// latBuckets is the size of the latency histogram: bucket i counts
-// requests with latency in ((1<<(i-1)) µs, (1<<i) µs], so the top
-// bucket's bound exceeds 9 hours — effectively unbounded.
-const latBuckets = 36
-
-// statsCollector accumulates counters across worker goroutines.
+// statsCollector is the server's view onto its metrics registry. The
+// latency fields of a snapshot (Requests, AvgLatency, MaxLatency, the
+// percentiles) are all derived from ONE histogram snapshot taken under
+// the histogram's lock, so they always describe the same set of served
+// requests — a count can never be paired with a percentile from a
+// different moment. The event counters (rejected, expired, shed,
+// batches) are independent monotonic counters read in the same pass.
 type statsCollector struct {
-	mu       sync.Mutex
 	start    time.Time
-	requests uint64
-	rejected uint64
-	expired  uint64
-	epcShed  uint64
-	batches  uint64
-	latSum   time.Duration
-	latMax   time.Duration
-	latHist  [latBuckets]uint64
+	hist     *obs.Histogram
+	rejected *obs.Counter
+	expired  *obs.Counter
+	epcShed  *obs.Counter
+	batches  *obs.Counter
 }
 
-// latBucket maps a latency to its histogram bucket.
-func latBucket(d time.Duration) int {
-	b := bits.Len64(uint64(d / time.Microsecond))
-	if b >= latBuckets {
-		b = latBuckets - 1
+// newStatsCollector registers the serving metrics on reg and returns
+// the collector writing to them. serve_requests_total is a read-through
+// onto the latency histogram's count, so the two can never disagree in
+// an exposition.
+func newStatsCollector(reg *obs.Registry) statsCollector {
+	c := statsCollector{
+		start:    time.Now(),
+		hist:     reg.Histogram("serve_request_seconds", "End-to-end request latency in the server, enqueue to classification."),
+		rejected: reg.Counter("serve_rejected_total", "Requests rejected at a full queue."),
+		expired:  reg.Counter("serve_expired_total", "Queued requests dropped because their context ended before dispatch."),
+		epcShed:  reg.Counter("serve_epc_shed_total", "Requests shed by pressure-aware admission while the host EPC was overcommitted."),
+		batches:  reg.Counter("serve_batches_total", "Micro-batches dispatched."),
 	}
-	return b
+	hist := c.hist
+	reg.CounterFunc("serve_requests_total", "Requests served successfully.",
+		func() float64 { return float64(hist.Count()) })
+	return c
 }
 
-func (c *statsCollector) record(p Prediction) {
-	c.mu.Lock()
-	c.requests++
-	c.latSum += p.Latency
-	if p.Latency > c.latMax {
-		c.latMax = p.Latency
-	}
-	c.latHist[latBucket(p.Latency)]++
-	c.mu.Unlock()
-}
+func (c *statsCollector) record(p Prediction) { c.hist.Observe(p.Latency) }
 
-func (c *statsCollector) recordBatch() {
-	c.mu.Lock()
-	c.batches++
-	c.mu.Unlock()
-}
+func (c *statsCollector) recordBatch() { c.batches.Inc() }
 
-func (c *statsCollector) recordRejected() {
-	c.mu.Lock()
-	c.rejected++
-	c.mu.Unlock()
-}
+func (c *statsCollector) recordRejected() { c.rejected.Inc() }
 
-func (c *statsCollector) recordExpired() {
-	c.mu.Lock()
-	c.expired++
-	c.mu.Unlock()
-}
+func (c *statsCollector) recordExpired() { c.expired.Inc() }
 
-func (c *statsCollector) recordEPCShed() {
-	c.mu.Lock()
-	c.epcShed++
-	c.mu.Unlock()
-}
+func (c *statsCollector) recordEPCShed() { c.epcShed.Inc() }
 
+// snapshot derives a Stats in a single read-side pass: one consistent
+// histogram snapshot for every latency-derived field, one load per
+// event counter.
 func (c *statsCollector) snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.hist.Snapshot()
 	s := Stats{
-		Requests: c.requests,
-		Rejected: c.rejected,
-		Expired:  c.expired,
-		EPCShed:  c.epcShed,
-		Batches:  c.batches,
+		Requests: h.Count,
+		Rejected: uint64(c.rejected.Value()),
+		Expired:  uint64(c.expired.Value()),
+		EPCShed:  uint64(c.epcShed.Value()),
+		Batches:  uint64(c.batches.Value()),
 		Uptime:   time.Since(c.start),
 	}
-	if c.batches > 0 {
-		s.AvgBatch = float64(c.requests) / float64(c.batches)
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Requests) / float64(s.Batches)
 	}
-	if c.requests > 0 {
-		s.AvgLatency = c.latSum / time.Duration(c.requests)
-		s.MaxLatency = c.latMax
-		s.P50Latency = c.percentileLocked(0.50)
-		s.P95Latency = c.percentileLocked(0.95)
-		s.P99Latency = c.percentileLocked(0.99)
+	if h.Count > 0 {
+		s.AvgLatency = h.Mean()
+		s.MaxLatency = h.Max
+		s.P50Latency = h.Quantile(0.50)
+		s.P95Latency = h.Quantile(0.95)
+		s.P99Latency = h.Quantile(0.99)
 		if secs := s.Uptime.Seconds(); secs > 0 {
-			s.Throughput = float64(c.requests) / secs
+			s.Throughput = float64(h.Count) / secs
 		}
 	}
 	return s
-}
-
-// percentileLocked returns the upper bound of the histogram bucket
-// holding percentile p — nearest-rank, i.e. the ceil(p*n)-th smallest
-// latency, so a tail outlier is never skipped at small request counts.
-// Called with c.mu held and c.requests > 0.
-func (c *statsCollector) percentileLocked(p float64) time.Duration {
-	rank := uint64(math.Ceil(p * float64(c.requests)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum uint64
-	for i, n := range c.latHist {
-		cum += n
-		if cum >= rank {
-			bound := time.Microsecond
-			if i > 0 {
-				bound = time.Duration(uint64(1)<<uint(i)) * time.Microsecond
-			}
-			// The top populated bucket's bound can overshoot the true
-			// maximum; the observed max is a tighter upper bound.
-			if bound > c.latMax {
-				bound = c.latMax
-			}
-			return bound
-		}
-	}
-	return c.latMax
 }

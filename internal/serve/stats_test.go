@@ -4,13 +4,14 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"plinius/internal/obs"
 )
 
 // TestLatencyPercentiles: the fixed-bucket histogram reports each
 // percentile as its bucket's upper bound, in constant memory.
 func TestLatencyPercentiles(t *testing.T) {
-	var c statsCollector
-	c.start = time.Now()
+	c := newStatsCollector(obs.NewRegistry())
 	for i := 0; i < 90; i++ {
 		c.record(Prediction{Latency: 3 * time.Microsecond})
 	}
@@ -38,8 +39,7 @@ func TestLatencyPercentiles(t *testing.T) {
 // TestLatencyPercentilesNearestRank: with 10 requests the P99 is the
 // 10th smallest (ceil(0.99*10)), so a single tail outlier must show.
 func TestLatencyPercentilesNearestRank(t *testing.T) {
-	var c statsCollector
-	c.start = time.Now()
+	c := newStatsCollector(obs.NewRegistry())
 	for i := 0; i < 9; i++ {
 		c.record(Prediction{Latency: time.Millisecond})
 	}
@@ -58,8 +58,7 @@ func TestLatencyPercentilesNearestRank(t *testing.T) {
 
 // TestLatencyPercentilesEmpty: no requests, no percentiles.
 func TestLatencyPercentilesEmpty(t *testing.T) {
-	var c statsCollector
-	c.start = time.Now()
+	c := newStatsCollector(obs.NewRegistry())
 	st := c.snapshot()
 	if st.P50Latency != 0 || st.P95Latency != 0 || st.P99Latency != 0 {
 		t.Fatalf("empty collector reported percentiles %v %v %v",

@@ -16,8 +16,21 @@ import (
 	"sync"
 	"time"
 
+	"plinius/internal/obs"
 	"plinius/internal/simclock"
 )
+
+// Process-wide secondary-storage counters, labeled by device profile
+// name so the SSD-checkpoint baseline and the ramdisk are separable.
+func deviceCounters(prof string) (reads, writes, fsyncs, bytesRead, bytesWritten *obs.Counter) {
+	l := obs.Label{Key: "device", Value: prof}
+	reg := obs.Default()
+	return reg.Counter("storage_reads_total", "Storage read ops, by device profile.", l),
+		reg.Counter("storage_writes_total", "Storage write ops, by device profile.", l),
+		reg.Counter("storage_fsyncs_total", "Storage fsyncs, by device profile.", l),
+		reg.Counter("storage_bytes_read_total", "Bytes read from storage, by device profile.", l),
+		reg.Counter("storage_bytes_written_total", "Bytes written to storage, by device profile.", l)
+}
 
 // Profile models a storage device class. Latencies are per operation;
 // bandwidths are sustained bytes/second shared across all in-flight
@@ -109,6 +122,12 @@ type Device struct {
 	clock *simclock.Clock
 	files map[string]*fileData
 	stats Stats
+
+	mReads        *obs.Counter
+	mWrites       *obs.Counter
+	mFsyncs       *obs.Counter
+	mBytesRead    *obs.Counter
+	mBytesWritten *obs.Counter
 }
 
 // Stats counts device operations.
@@ -144,6 +163,7 @@ func NewDevice(prof Profile, opts ...Option) *Device {
 	if d.clock == nil {
 		d.clock = simclock.New()
 	}
+	d.mReads, d.mWrites, d.mFsyncs, d.mBytesRead, d.mBytesWritten = deviceCounters(d.prof.Name)
 	return d
 }
 
@@ -272,6 +292,8 @@ func (f *File) Write(p []byte) (int, error) {
 	f.dev.stats.Writes++
 	f.dev.stats.BytesWritten += uint64(len(p))
 	f.dev.mu.Unlock()
+	f.dev.mWrites.Inc()
+	f.dev.mBytesWritten.Add(float64(len(p)))
 	f.dev.chargeWrite(len(p), true)
 	f.off = end
 	return len(p), nil
@@ -291,6 +313,8 @@ func (f *File) Read(p []byte) (int, error) {
 	f.dev.stats.Reads++
 	f.dev.stats.BytesRead += uint64(n)
 	f.dev.mu.Unlock()
+	f.dev.mReads.Inc()
+	f.dev.mBytesRead.Add(float64(n))
 	f.dev.chargeRead(n, true)
 	f.off += n
 	return n, nil
@@ -332,6 +356,7 @@ func (f *File) Sync() error {
 	f.dev.mu.Lock()
 	f.dev.stats.Fsyncs++
 	f.dev.mu.Unlock()
+	f.dev.mFsyncs.Inc()
 	f.dev.clock.Advance(f.dev.prof.FsyncLatency)
 	return nil
 }

@@ -50,6 +50,7 @@ import (
 	"plinius/internal/distributed"
 	"plinius/internal/enclave"
 	"plinius/internal/mnist"
+	"plinius/internal/obs"
 	"plinius/internal/serve"
 	"plinius/internal/spot"
 )
@@ -254,6 +255,32 @@ var (
 func Serve(ctx context.Context, f *Framework, opts ServerOptions) (*Server, error) {
 	return serve.New(ctx, f, opts)
 }
+
+// Observability: every layer of the reproduction (enclave paging, AES
+// sealing, PM traffic, mirror transfers, model compute, serving) feeds
+// a typed metric registry, and the serving path records per-request
+// stage spans with bounded slowest-N retention.
+type (
+	// MetricsRegistry is a typed registry of counters, gauges and
+	// latency histograms; it encodes to the Prometheus text format
+	// with WritePrometheus and flattens to a map with obs.Flatten.
+	MetricsRegistry = obs.Registry
+	// TraceSnapshot is one retained slow request with its per-stage
+	// spans (queue, batch, window, per-shard wait/restore/open/
+	// compute/seal, deliver).
+	TraceSnapshot = obs.TraceSnapshot
+	// TraceSpan is one named stage duration of a TraceSnapshot.
+	TraceSpan = obs.SpanRec
+)
+
+// Metrics returns the process-wide metric registry: the layer-level
+// series every Framework, enclave, PM device and mirror in the process
+// reports into — enclave_ecalls_total and epc_page_swaps_total by
+// enclave role, engine_seal_ops_total, pm_bytes_stored_total,
+// mirror_seal_seconds_total, darknet_forward_passes_total, and so on.
+// Per-server serving metrics live on Server.Metrics (pass
+// ServerOptions.Metrics to aggregate them elsewhere).
+func Metrics() *MetricsRegistry { return obs.Default() }
 
 // Distributed training (the paper's §VIII future-work direction):
 // synchronous data-parallel training across multiple secure nodes with
