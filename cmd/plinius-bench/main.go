@@ -8,7 +8,11 @@
 //	plinius-bench -exp fig7 -quick    # scaled-down fast run
 //
 // Experiments: fig2, fig6, fig7, table1a, table1b, fig8, fig9, fig10,
-// inference, tcb, freq, coloc, shard, perf, all.
+// inference, tcb, freq, coloc, shard, fleet, perf, all.
+//
+// -exp fleet writes its comparison (multi-host fleet vs single-host
+// sharded vs monolithic serving of an over-EPC model) to -out as well
+// (default BENCH_fleet.json), under the same rules as -exp perf below.
 //
 // -exp perf additionally writes a machine-readable snapshot of the
 // parallel hot-path metrics (training iterations/s, seal GB/s, sharded
@@ -29,14 +33,15 @@ import (
 	"plinius/internal/experiments"
 )
 
-// outPath is the -out flag: where -exp perf writes its snapshot.
+// outPath is the -out flag: where -exp perf and -exp fleet write
+// their snapshots.
 // Empty with no explicit -out defaults to BENCH_<exp>.json, except
 // under -exp all where it stays empty so the figure sweep has no file
 // side effects by default.
 var outPath string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|perf|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|fleet|perf|all)")
 	quick := flag.Bool("quick", false, "scaled-down parameters for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	root := flag.String("root", ".", "repository root (for -exp tcb)")
@@ -74,10 +79,11 @@ func run(exp string, quick bool, seed int64, root string) error {
 		"freq":      runFreq,
 		"coloc":     runColoc,
 		"shard":     runShard,
+		"fleet":     runFleet,
 		"perf":      runPerf,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard", "perf"}
+		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard", "fleet", "perf"}
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](quick, seed, root); err != nil {
@@ -277,6 +283,34 @@ func runShard(quick bool, seed int64, _ string) error {
 		return err
 	}
 	res.Print(os.Stdout)
+	return nil
+}
+
+func runFleet(quick bool, seed int64, _ string) error {
+	// A model over any single host's EPC, served monolithic (the knee),
+	// sharded on one host (streams PM), and across a 3-host fleet
+	// (resident, zero faults). Quick mode scales the geometry down to a
+	// 6 MB model on 5 MB hosts.
+	sizeMB, epcMB, hosts, batches, batch := 187, 0, 3, 4, 1
+	if quick {
+		sizeMB, epcMB = 6, 5
+	}
+	res, err := experiments.RunFleet(core.SGXEmlPM(), sizeMB, epcMB, hosts, batches, batch, seed)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }
 

@@ -10,7 +10,17 @@
 //	  -> {"class":7,"latency_us":412,"batch_size":5,"worker":2,"model_version":1}
 //	POST /refresh  -> roll all replicas to the latest published model
 //	POST /rotate   -> rotate the data key end to end, no serving gap
-//	GET  /stats    -> serving counters
+//	GET  /stats    -> serving counters (plus a per-host fleet section
+//	                  with -fleet-hosts)
+//
+// With -fleet-hosts N the model is served across a fleet of N hosts:
+// its shard plan is bin-packed over their EPC headrooms (-fleet-epc
+// sets each host's budget in MiB) and stage hand-offs cross attested
+// inter-host channels. A model that cannot be packed at all starts a
+// degraded listener whose /classify answers 503 with a distinct
+// "fleet placement infeasible" body, so clients can tell a capacity
+// misconfiguration from a transient overload.
+//
 //	GET  /metrics  -> Prometheus text exposition (process + server registries)
 //	GET  /trace    -> JSON dump of the N slowest requests with per-stage spans
 //	GET  /healthz
@@ -57,6 +67,8 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed")
 		workers    = flag.Int("workers", 4, "enclave inference replicas; 0 auto-sizes from the host's remaining EPC headroom")
 		shards     = flag.Int("shards", 0, "pipeline the model across at most this many shard enclaves; -1 shards automatically when a whole replica exceeds the host's EPC headroom")
+		fleetHosts = flag.Int("fleet-hosts", 0, "serve across a fleet of this many hosts: the model's shard plan is bin-packed over their EPC headrooms, with attested inter-host hand-off channels (0 disables)")
+		fleetEPC   = flag.Int("fleet-epc", 0, "per-fleet-host usable EPC in MiB (0 uses the paper's 93.5 MiB budget)")
 		maxEPC     = flag.Float64("max-epc-pressure", 0, "shed requests while the host EPC is overcommitted past this fraction (0 disables)")
 		maxBatch   = flag.Int("max-batch", 32, "micro-batch size cap")
 		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
@@ -77,7 +89,7 @@ func main() {
 		*shards = plinius.ShardAuto
 	}
 	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *seed,
-		*workers, *shards, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *pprofOn, *requests, *clients)
+		*workers, *shards, *fleetHosts, *fleetEPC, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *pprofOn, *requests, *clients)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Interrupted before or during serving: the shutdown was
@@ -91,7 +103,7 @@ func main() {
 }
 
 func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed int64,
-	workers, shards, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, pprofOn bool, requests, clients int) error {
+	workers, shards, fleetHosts, fleetEPC, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, pprofOn bool, requests, clients int) error {
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
 		Seed:        seed,
@@ -108,9 +120,21 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 		return err
 	}
 
+	var fleet []*plinius.Host
+	if fleetHosts > 0 {
+		var hostOpts []plinius.HostOption
+		if fleetEPC > 0 {
+			hostOpts = append(hostOpts, plinius.WithHostEPC(fleetEPC<<20))
+		}
+		fleet = make([]*plinius.Host, fleetHosts)
+		for i := range fleet {
+			fleet[i] = plinius.NewHost(plinius.SGXEmlPM(), hostOpts...)
+		}
+	}
 	srv, err := plinius.Serve(ctx, f, plinius.ServerOptions{
 		Workers:         workers,
 		Shards:          shards,
+		Fleet:           fleet,
 		MaxBatch:        maxBatch,
 		MaxQueueLatency: maxLatency,
 		QueueDepth:      queueDepth,
@@ -118,9 +142,23 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 		MaxEPCPressure:  maxEPC,
 	})
 	if err != nil {
+		// An infeasible placement is an operator-visible capacity
+		// condition, not a crash: with an HTTP address, come up anyway
+		// and answer requests with a distinct 503 body until the fleet
+		// is resized.
+		if errors.Is(err, plinius.ErrInfeasiblePlacement) && addr != "" {
+			return serveInfeasible(ctx, addr, err)
+		}
 		return err
 	}
-	if srv.Shards() > 0 {
+	if srv.FleetSize() > 0 {
+		fmt.Printf("serving model version %d (iteration %d) across a %d-host fleet: %d replica group(s) of %d shard(s), window %d, max batch %d, queue depth %d\n",
+			srv.Version(), srv.Iteration(), srv.FleetSize(), srv.FleetGroups(), srv.Shards(), srv.Workers(), maxBatch, queueDepth)
+		for _, hr := range srv.FleetHostReports() {
+			fmt.Printf("  host %d: %d bytes resident / %d usable EPC, shards %v\n",
+				hr.Host, hr.ResidentBytes, hr.UsableEPC, hr.Shards)
+		}
+	} else if srv.Shards() > 0 {
 		fmt.Printf("serving model version %d (iteration %d) pipelined across %d shard enclaves (window %d, streaming=%v, max batch %d, queue depth %d)\n",
 			srv.Version(), srv.Iteration(), srv.Shards(), srv.Workers(), srv.ShardsStreaming(), maxBatch, queueDepth)
 	} else {
@@ -139,6 +177,35 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 		err = cerr
 	}
 	return err
+}
+
+// serveInfeasible is the degraded HTTP server run when the fleet
+// placement planner found no packing of the model onto the configured
+// hosts: /classify answers with a distinct 503 body naming the
+// condition (clients can tell "resize the fleet" from a transient
+// overload), /healthz reports the degraded state, and everything runs
+// until ctx is cancelled so the operator can probe the endpoints.
+func serveInfeasible(ctx context.Context, addr string, perr error) error {
+	body := fmt.Sprintf("fleet placement infeasible: %v", perr)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, body, http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "degraded: "+body, http.StatusServiceUnavailable)
+	})
+	hs := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("%s\nlistening on %s in degraded mode (503 on /classify until the fleet is resized)\n", body, addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
 }
 
 // classifyStatus maps a serving error to an HTTP status. EPC-pressure
@@ -210,7 +277,7 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bo
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := srv.Stats()
-		json.NewEncoder(w).Encode(map[string]any{
+		stats := map[string]any{
 			"requests":             st.Requests,
 			"rejected":             st.Rejected,
 			"expired":              st.Expired,
@@ -233,7 +300,17 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bo
 			"shard_stalls":         st.ShardStalls,
 			"shard_prefetch_waits": st.ShardPrefetchWaits,
 			"shard_prefetched":     st.ShardPrefetched,
-		})
+		}
+		if st.FleetHosts > 0 {
+			// Per-host fleet section: each host's resident working set,
+			// EPC pressure and the shard ranges placed on it.
+			stats["fleet_hosts"] = st.FleetHosts
+			stats["fleet_groups"] = st.FleetGroups
+			stats["fleet_handoffs"] = st.FleetHandoffs
+			stats["fleet_handoff_bytes"] = st.FleetHandoffBytes
+			stats["fleet"] = srv.FleetHostReports()
+		}
+		json.NewEncoder(w).Encode(stats)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		// Two registries, one exposition: the process-wide layer
@@ -322,7 +399,10 @@ func loadgen(ctx context.Context, srv *plinius.Server, ds *plinius.Dataset, requ
 		st.AvgLatency.Round(time.Microsecond), st.P50Latency.Round(time.Microsecond),
 		st.P95Latency.Round(time.Microsecond), st.P99Latency.Round(time.Microsecond),
 		st.MaxLatency.Round(time.Microsecond))
-	if srv.Shards() > 0 {
+	if st.FleetHosts > 0 {
+		fmt.Printf("  fleet      : %d hosts, %d groups, %d shards, %d hand-offs (%d bytes)\n",
+			st.FleetHosts, st.FleetGroups, srv.Shards(), st.FleetHandoffs, st.FleetHandoffBytes)
+	} else if srv.Shards() > 0 {
 		fmt.Printf("  sharding   : %d shards, window %d, streaming=%v, %d PM range restores\n",
 			srv.Shards(), srv.Workers(), srv.ShardsStreaming(), srv.ShardRestores())
 	}

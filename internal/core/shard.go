@@ -57,6 +57,22 @@ var (
 	ErrShardBatch       = errors.New("core: batch exceeds the shard plan's micro-batch size")
 )
 
+// Handoff is the seam between adjacent pipeline stages that the
+// multi-host serving fabric (internal/fleet) plugs into: when two
+// stages of one pipeline live on different hosts, the sealed
+// activations crossing between them travel an attested inter-host
+// channel instead of a same-machine buffer pass. Bind is called once
+// per adjacent (from, to) stage pair while the group is built — the
+// implementation attests both endpoint enclaves and provisions the
+// channel there — and Carry once per micro-batch crossing that
+// boundary, with the sealed activation payload. A Carry error fails
+// the batch (it still rides the pipeline to completion, like any
+// stage error).
+type Handoff interface {
+	Bind(from, to int, src, dst *enclave.Enclave) error
+	Carry(from, to int, sealed []byte) error
+}
+
 // ShardOptions parameterises NewShardGroup.
 type ShardOptions struct {
 	// Shards, when > 0, asks the planner for at most this many
@@ -91,6 +107,23 @@ type ShardOptions struct {
 	// test — never share series; the serving layer passes its server
 	// registry so shard series surface on /metrics.
 	Metrics *obs.Registry
+	// Plan, when non-empty, is an explicit contiguous layer-range cover
+	// to shard by, bypassing the planner (the fleet placement planner
+	// hands groups their bin-packed ranges). It must cover every layer
+	// exactly once, in order.
+	Plan []darknet.ShardRange
+	// Hosts, when non-empty, places shard i's enclave on Hosts[i] — the
+	// multi-host pipeline. Its length must equal the plan's; nil
+	// entries fall back to Host. Residency is then judged per host:
+	// each host's EPC budget covers only the shards placed on it.
+	Hosts []*enclave.Host
+	// Handoff, when non-nil, carries sealed activations between
+	// adjacent stages (see the Handoff interface).
+	Handoff Handoff
+	// Labels is appended to every per-shard metric series. The fleet
+	// layer labels each replica group (group=g) so groups sharing one
+	// registry keep distinct series.
+	Labels []obs.Label
 }
 
 // shard is one pipeline stage: an enclave owning one contiguous layer
@@ -176,6 +209,11 @@ type ShardGroup struct {
 	// both bump them, and the accessors sum across shards.
 	reg *obs.Registry
 
+	// handoff, when non-nil, carries sealed activations across stage
+	// boundaries (ShardOptions.Handoff — the fleet's attested
+	// inter-host channels).
+	handoff Handoff
+
 	// Double-buffered restore: while shard k computes a batch, a
 	// background goroutine prefetches shard k+1's range so the batch
 	// does not stall on the restore when it arrives. The prefetcher is
@@ -238,10 +276,32 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: shard model config: %w", err)
 	}
-	headroom := host.Headroom()
-	plan, err := f.planShards(full, opts, batch, headroom)
+	plan, err := f.planShards(full, opts, batch, host.Headroom())
 	if err != nil {
 		return nil, err
+	}
+	hosts := make([]*enclave.Host, len(plan))
+	for i := range hosts {
+		hosts[i] = host
+	}
+	if len(opts.Hosts) > 0 {
+		if len(opts.Hosts) != len(plan) {
+			return nil, fmt.Errorf("core: shard hosts: %d hosts for a %d-shard plan", len(opts.Hosts), len(plan))
+		}
+		for i, h := range opts.Hosts {
+			if h != nil {
+				hosts[i] = h
+			}
+		}
+	}
+	// Snapshot each distinct host's headroom before any shard enclave
+	// reserves against it: the residency decision below compares the
+	// plan against what the hosts had to offer.
+	headrooms := make(map[*enclave.Host]int)
+	for _, h := range hosts {
+		if _, ok := headrooms[h]; !ok {
+			headrooms[h] = h.Headroom()
+		}
 	}
 
 	reg := opts.Metrics
@@ -256,6 +316,7 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 		overhead:   overhead,
 		noPrefetch: opts.DisablePrefetch,
 		reg:        reg,
+		handoff:    opts.Handoff,
 	}
 	fail := func(err error) (*ShardGroup, error) {
 		for _, s := range g.shards {
@@ -263,18 +324,17 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 		}
 		return nil, err
 	}
-	total, maxFootprint := 0, 0
 	for i, r := range plan {
-		encl := host.NewEnclave(enclave.WithSeed(opts.Seed+int64(i)+1), enclave.WithName("shard"))
+		encl := hosts[i].NewEnclave(enclave.WithSeed(opts.Seed+int64(i)+1), enclave.WithName("shard"))
 		k := strconv.Itoa(i)
-		shardLabel := obs.Label{Key: "shard", Value: k}
+		labels := append([]obs.Label{{Key: "shard", Value: k}}, opts.Labels...)
 		g.shards = append(g.shards, &shard{ // tracked for cleanup
 			idx:            i,
 			encl:           encl,
-			mRestores:      reg.Counter("shard_restores_total", "Layer-range restores from PM, by shard.", shardLabel),
-			mStalls:        reg.Counter("shard_stage_stall_total", "Batches that paid a full range restore on the compute path, by shard.", shardLabel),
-			mPrefetchWaits: reg.Counter("shard_prefetch_waits_total", "Batches that waited out the remainder of an in-flight prefetch, by shard.", shardLabel),
-			mPrefetched:    reg.Counter("shard_prefetched_restores_total", "Restores completed by the background prefetcher, by shard.", shardLabel),
+			mRestores:      reg.Counter("shard_restores_total", "Layer-range restores from PM, by shard.", labels...),
+			mStalls:        reg.Counter("shard_stage_stall_total", "Batches that paid a full range restore on the compute path, by shard.", labels...),
+			mPrefetchWaits: reg.Counter("shard_prefetch_waits_total", "Batches that waited out the remainder of an in-flight prefetch, by shard.", labels...),
+			mPrefetched:    reg.Counter("shard_prefetched_restores_total", "Restores completed by the background prefetcher, by shard.", labels...),
 			spanWait:       "wait/" + k,
 			spanRestore:    "restore/" + k,
 			spanOpen:       "open/" + k,
@@ -304,30 +364,57 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 		s.eng, s.net, s.rng = eng, sub, r
 		s.nodeFrom = full.ParamLayersBefore(r.From)
 		s.footprint = footprint
-		total += footprint
-		if footprint > maxFootprint {
-			maxFootprint = footprint
+	}
+
+	// Bind the hand-off seam once per adjacent stage pair, with the
+	// enclaves built: a fleet hand-off attests both endpoints and
+	// provisions each cross-host channel here, before any batch flows.
+	if g.handoff != nil {
+		for i := 0; i+1 < len(g.shards); i++ {
+			if err := g.handoff.Bind(i, i+1, g.shards[i].encl, g.shards[i+1].encl); err != nil {
+				return fail(fmt.Errorf("core: shard hand-off %d->%d: %w", i, i+1, err))
+			}
 		}
 	}
 
-	// Residency mode: the whole plan resident when it fits what the
-	// host had to offer, else stream ranges from PM with a pipeline
-	// window sized so the hot set stays within the budget. With
-	// double-buffered restore each in-flight batch may transiently
-	// hold TWO ranges — its stage hot while the next stage prefetches
-	// — so the window halves and the freed budget pays for the
-	// overlap; that keeps the residency bound exact (window x
-	// per-batch demand <= budget) and the zero-fault regime intact. A
-	// window of at least 1 always serves — an oversized single shard
-	// overcommits the host while hot and pays (bounded) pressure,
-	// mirroring the one-replica floor of WorkersAuto.
-	budget := headroom - overhead*len(plan)
-	g.streaming = total > budget
+	// Residency mode, judged per host: the whole plan resident when
+	// every host can hold its placed shards within what it had to
+	// offer, else stream ranges from PM with a pipeline window sized so
+	// each host's hot set stays within its budget (the window is the
+	// most constrained host's). With double-buffered restore each
+	// in-flight batch may transiently hold TWO ranges — its stage hot
+	// while the next stage prefetches — so the window halves and the
+	// freed budget pays for the overlap; that keeps the residency bound
+	// exact (window x per-batch demand <= budget) and the zero-fault
+	// regime intact. A window of at least 1 always serves — an
+	// oversized single shard overcommits its host while hot and pays
+	// (bounded) pressure, mirroring the one-replica floor of
+	// WorkersAuto. A single-host plan reduces to the pre-fleet
+	// arithmetic exactly.
+	type hostDemand struct{ total, maxFP, count int }
+	demand := make(map[*enclave.Host]*hostDemand)
+	for i, s := range g.shards {
+		d := demand[hosts[i]]
+		if d == nil {
+			d = &hostDemand{}
+			demand[hosts[i]] = d
+		}
+		d.total += s.footprint
+		d.count++
+		if s.footprint > d.maxFP {
+			d.maxFP = s.footprint
+		}
+	}
 	g.window = len(plan)
-	if g.streaming {
-		perBatch := maxFootprint
+	for h, d := range demand {
+		budget := headrooms[h] - overhead*d.count
+		if d.total <= budget {
+			continue
+		}
+		g.streaming = true
+		perBatch := d.maxFP
 		if !g.noPrefetch {
-			perBatch = 2 * maxFootprint
+			perBatch = 2 * d.maxFP
 		}
 		w := 0
 		if perBatch > 0 {
@@ -336,10 +423,9 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 		if w < 1 {
 			w = 1
 		}
-		if w > len(plan) {
-			w = len(plan)
+		if w < g.window {
+			g.window = w
 		}
-		g.window = w
 	}
 	g.slots = make(chan struct{}, g.window)
 
@@ -389,6 +475,11 @@ func (f *Framework) NewShardGroup(opts ShardOptions) (*ShardGroup, error) {
 // exactly the split whose manifest is on record.
 func (f *Framework) planShards(full *darknet.Network, opts ShardOptions, batch, headroom int) ([]darknet.ShardRange, error) {
 	switch {
+	case len(opts.Plan) > 0:
+		if err := validateShardPlan(opts.Plan, len(full.Layers)); err != nil {
+			return nil, err
+		}
+		return opts.Plan, nil
 	case opts.MaxShardBytes > 0:
 		return full.PlanShards(opts.MaxShardBytes, batch)
 	case opts.Shards > 0:
@@ -407,6 +498,23 @@ func (f *Framework) planShards(full *darknet.Network, opts ShardOptions, batch, 
 		}
 		return full.PlanShards(bound, batch)
 	}
+}
+
+// validateShardPlan checks an explicit plan is an in-order contiguous
+// cover of the model's layers — anything else would drop or duplicate
+// a layer range.
+func validateShardPlan(plan []darknet.ShardRange, numLayers int) error {
+	next := 0
+	for _, r := range plan {
+		if r.From != next || r.To <= r.From || r.To > numLayers {
+			return fmt.Errorf("core: explicit shard plan %v is not a contiguous cover of %d layers", plan, numLayers)
+		}
+		next = r.To
+	}
+	if next != numLayers {
+		return fmt.Errorf("core: explicit shard plan %v is not a contiguous cover of %d layers", plan, numLayers)
+	}
+	return nil
 }
 
 // persistedShardPlan reads the shard manifest back as a plan, nil when
@@ -600,10 +708,13 @@ func (g *ShardGroup) tryPrefetch(s *shard) {
 		g.prefetchMu.Unlock()
 		return
 	}
-	// Charge the prefetch against the host headroom atomically with
-	// the decision: Reserve here, before the restore goroutine runs,
-	// so concurrent prefetchers cannot double-claim the same budget.
-	if g.host.Headroom() < s.footprint || s.encl.Reserve(s.footprint) != nil {
+	// Charge the prefetch against the shard's own host headroom
+	// atomically with the decision: Reserve here, before the restore
+	// goroutine runs, so concurrent prefetchers cannot double-claim
+	// the same budget. (The shard's host, not the group's primary —
+	// a multi-host pipeline gates each prefetch on the machine that
+	// would hold the range.)
+	if s.encl.Host().Headroom() < s.footprint || s.encl.Reserve(s.footprint) != nil {
 		s.mu.Unlock()
 		g.prefetchMu.Unlock()
 		return
@@ -685,6 +796,14 @@ func (g *ShardGroup) runStage(s *shard) {
 		job.tr.Add(s.spanWait, time.Since(job.handoff))
 		if job.err == nil {
 			job.err = g.process(s, job, last)
+			// The sealed activations leave this stage: on a multi-host
+			// pipeline they cross the fleet's attested inter-host
+			// channel before the downstream stage can open them.
+			if job.err == nil && !last && g.handoff != nil {
+				if err := g.handoff.Carry(s.idx, s.idx+1, job.sealed); err != nil {
+					job.err = fmt.Errorf("core: shard %d->%d hand-off: %w", s.idx, s.idx+1, err)
+				}
+			}
 		} else if g.streaming {
 			// The job errored upstream, possibly after prefetching this
 			// stage on its behalf; nothing will process (and park) here,
@@ -1050,3 +1169,52 @@ func (g *ShardGroup) PrefetchedRestores() uint64 {
 
 // Metrics returns the registry holding the group's per-shard counters.
 func (g *ShardGroup) Metrics() *obs.Registry { return g.reg }
+
+// ModelConfigText returns the framework's Darknet .cfg text — what the
+// fleet placement planner parses to compute shard footprints without
+// touching the enclave model.
+func (f *Framework) ModelConfigText() string { return f.cfg.ModelConfig }
+
+// PersistedShardPlan returns the durably recorded shard split when it
+// is a contiguous cover of a numLayers-layer model, nil otherwise —
+// the exported read the fleet layer uses to restore a recorded
+// placement.
+func (f *Framework) PersistedShardPlan(numLayers int) []darknet.ShardRange {
+	return f.persistedShardPlan(numLayers)
+}
+
+// RecordPlacement persists a fleet placement manifest alongside the
+// publication slots and shard manifest, skipping the write when the
+// recorded placement already matches.
+func (f *Framework) RecordPlacement(entries []mirror.PlacementEntry) error {
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
+	if err := f.attachPublication(); err != nil {
+		return err
+	}
+	cur, err := f.pub.Placement()
+	if err == nil && len(cur) == len(entries) {
+		same := true
+		for i := range cur {
+			if cur[i] != entries[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	return f.pub.RecordPlacement(entries)
+}
+
+// PersistedPlacement reads the fleet placement manifest back, nil when
+// none has been recorded.
+func (f *Framework) PersistedPlacement() ([]mirror.PlacementEntry, error) {
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
+	if err := f.attachPublication(); err != nil {
+		return nil, err
+	}
+	return f.pub.Placement()
+}

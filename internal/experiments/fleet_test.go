@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"plinius/internal/core"
+)
+
+// TestFleetBeatsSingleHost: the acceptance table for multi-host
+// serving. A model over any single host's EPC is served monolithic,
+// sharded on one host, and across a 3-host fleet. The fleet must hold
+// every shard resident — zero paging faults AND zero steady-state PM
+// restores across the batch run — paying sealed activation hand-offs
+// on attested channels instead.
+func TestFleetBeatsSingleHost(t *testing.T) {
+	res, err := RunFleet(core.SGXEmlPM(), 6, 5, 3, 4, 1, 42)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("RunFleet returned %d rows", len(res.Rows))
+	}
+	if res.ModelBytes <= res.HostEPC {
+		t.Fatalf("model %d bytes fits one %d-byte host; the experiment needs an over-EPC model",
+			res.ModelBytes, res.HostEPC)
+	}
+	mono, sharded, fl := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !mono.OverEPC || mono.RestoreFaults+mono.ServeFaults == 0 {
+		t.Fatalf("monolithic host not over the knee: %+v", mono)
+	}
+	if !sharded.Streaming || sharded.PMRestores == 0 {
+		t.Fatalf("single-host sharded baseline not streaming PM: %+v", sharded)
+	}
+	if fl.Hosts != 3 || fl.Shards < 2 || fl.Channels == 0 {
+		t.Fatalf("fleet did not split across hosts: %+v", fl)
+	}
+	if fl.OverEPC {
+		t.Fatalf("a fleet host crossed the knee: peak %d > %d", fl.PeakResidentBytes, res.HostEPC)
+	}
+	if fl.ServeFaults != 0 {
+		t.Fatalf("fleet paid %d paging faults serving; placement must be resident", fl.ServeFaults)
+	}
+	if fl.Streaming || fl.PMRestores != 0 {
+		t.Fatalf("fleet streamed PM per batch (%d restores); placement must be resident", fl.PMRestores)
+	}
+	if fl.Handoffs == 0 || fl.HandoffBytes == 0 {
+		t.Fatalf("fleet recorded no inter-host hand-offs: %+v", fl)
+	}
+	if res.Speedup <= 0 {
+		t.Fatalf("speedup vs sharded baseline not recorded: %v", res.Speedup)
+	}
+	if len(res.HostReports) != 3 {
+		t.Fatalf("%d host reports, want 3", len(res.HostReports))
+	}
+	placed := 0
+	for _, hr := range res.HostReports {
+		placed += len(hr.Shards)
+	}
+	if placed == 0 {
+		t.Fatal("host reports show no placed shard ranges")
+	}
+	for _, name := range []string{
+		"fleet_handoff_bytes_total", "fleet_handoff_seconds_total",
+		"fleet_router_queue_depth", "fleet_host_headroom_bytes",
+	} {
+		found := false
+		for k := range res.Metrics {
+			if strings.HasPrefix(k, name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("fabric series %s missing from the metrics snapshot", name)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"fleet", "over knee", "resident", "host 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -45,6 +45,11 @@ var untrustedPackages = map[string]bool{
 	// marshalling) is untrusted-runtime plumbing; classification
 	// itself runs in the replica enclaves (core.Replica).
 	"serve": true,
+	// The fleet fabric (placement planning, routing, channel
+	// bookkeeping) is untrusted orchestration: activations cross hosts
+	// only sealed, and channel keys are provisioned by the attestation
+	// flow inside the shard enclaves (core).
+	"fleet": true,
 	// Telemetry (metric registry, tracing, exposition) observes the
 	// enclave pipeline from outside; nothing secret crosses into it.
 	"obs": true,

@@ -1,0 +1,610 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	mrand "math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plinius/internal/core"
+	"plinius/internal/darknet"
+	"plinius/internal/enclave"
+	"plinius/internal/mirror"
+	"plinius/internal/obs"
+)
+
+// Fleet errors.
+var ErrClosed = errors.New("fleet: fleet is closed")
+
+// Options parameterises New.
+type Options struct {
+	// Hosts is the fleet, in placement order. At least one is required;
+	// the placement planner bin-packs shards across their headrooms.
+	Hosts []*enclave.Host
+	// Replicas is the number of replica groups (full copies of the
+	// shard plan). Zero or negative packs as many as the fleet's
+	// capacity admits, at least one and at most one per host.
+	Replicas int
+	// Batch is the micro-batch size every group's plan reserves
+	// activation buffers for. Zero uses the model's configured batch.
+	Batch int
+	// OverheadBytes is the parked per-shard-enclave working set
+	// (default core.DefaultShardOverheadBytes).
+	OverheadBytes int
+	// ChannelLatency is the modeled one-way latency of each inter-host
+	// hand-off channel.
+	ChannelLatency time.Duration
+	// ChannelBandwidth is the modeled channel bandwidth in bytes per
+	// second; zero or negative means unbounded.
+	ChannelBandwidth float64
+	// Seed differentiates the shard enclaves' RNGs across groups.
+	Seed int64
+	// DisablePrefetch turns off double-buffered restores in every
+	// group's pipeline.
+	DisablePrefetch bool
+	// Metrics is the registry the fabric series register into
+	// (fleet_handoff_bytes_total and friends, plus every group's
+	// shard counters labeled group=g). Nil gives the fleet a private
+	// registry.
+	Metrics *obs.Registry
+}
+
+// group is one replica group: a full copy of the shard plan, placed on
+// its assignment of hosts, with an in-flight batch count the router
+// balances on.
+type group struct {
+	sg       *core.ShardGroup
+	hosts    []int // per-shard host index, into Fleet.hosts
+	inflight atomic.Int64
+}
+
+// handoff implements core.Handoff for one replica group: stage pairs
+// on the same host keep the in-process buffer pass (Carry is a no-op),
+// pairs on different hosts get an attested Channel provisioned at Bind
+// time.
+type handoff struct {
+	fl    *Fleet
+	hosts []int
+	chans map[int]*Channel // keyed by `from` stage index
+}
+
+func (h *handoff) Bind(from, to int, src, dst *enclave.Enclave) error {
+	if h.hosts[from] == h.hosts[to] {
+		return nil
+	}
+	ch, err := newChannel(from, to, src, dst,
+		h.fl.latency, h.fl.bandwidth, h.fl.mBytes, h.fl.mSeconds)
+	if err != nil {
+		return err
+	}
+	h.chans[from] = ch
+	h.fl.chanMu.Lock()
+	h.fl.channels = append(h.fl.channels, ch)
+	h.fl.chanMu.Unlock()
+	return nil
+}
+
+func (h *handoff) Carry(from, to int, sealed []byte) error {
+	ch := h.chans[from]
+	if ch == nil {
+		return nil // co-located stages: the in-process pass suffices
+	}
+	return ch.Carry(sealed)
+}
+
+// Fleet serves one logical model across many hosts: replica groups of
+// pipelined shard enclaves, placed by the bin-packing planner, joined
+// by attested inter-host channels, fronted by a least-loaded
+// micro-batch router. ClassifyBatch is safe for concurrent use.
+//
+// Control operations (Refresh, Rotate, Close) drain and flip the whole
+// fleet atomically: intake holds the read side of a lock for the full
+// life of each batch, the control path takes the write side, so every
+// in-flight batch completes on the old version, no new batch starts
+// until the flip is done, and no request is ever dropped.
+type Fleet struct {
+	f         *core.Framework
+	hosts     []*enclave.Host
+	placement Placement
+	groups    []*group
+	batch     int
+	inputSize int
+	overhead  int
+
+	latency   time.Duration
+	bandwidth float64
+
+	// mu gates intake against control operations (see type doc).
+	mu     sync.RWMutex
+	closed bool
+
+	inflight atomic.Int64
+
+	chanMu   sync.Mutex
+	channels []*Channel
+
+	reg      *obs.Registry
+	mBytes   *obs.Counter
+	mSeconds *obs.Counter
+}
+
+// New builds the fleet: the placement is restored from the durable
+// shard + placement manifests when the recorded split still fits the
+// current hosts, planned fresh otherwise, then recorded back; one
+// shard group per replica group is built on its placed hosts, with
+// attested channels provisioned across every host boundary.
+func New(f *core.Framework, opts Options) (*Fleet, error) {
+	if len(opts.Hosts) == 0 {
+		return nil, fmt.Errorf("%w: no hosts", ErrInfeasible)
+	}
+	// An independent parse of the model config drives planning: layer
+	// footprints come from the same arithmetic the shard groups use,
+	// without touching the enclave model.
+	net, err := darknet.ParseConfig(strings.NewReader(f.ModelConfigText()),
+		mrand.New(mrand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: model config: %w", err)
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = net.Config.Batch
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	overhead := opts.OverheadBytes
+	if overhead <= 0 {
+		overhead = core.DefaultShardOverheadBytes
+	}
+	headrooms := make([]int, len(opts.Hosts))
+	for i, h := range opts.Hosts {
+		if h == nil {
+			return nil, fmt.Errorf("fleet: host %d is nil", i)
+		}
+		headrooms[i] = h.Headroom()
+	}
+
+	placement, restored := persistedPlacement(f, net, headrooms, batch, overhead, opts.Replicas)
+	if !restored {
+		placement, err = PlanPlacement(net, headrooms, batch, overhead, opts.Replicas)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	fl := &Fleet{
+		f:         f,
+		hosts:     opts.Hosts,
+		placement: placement,
+		batch:     batch,
+		inputSize: net.InputSize(),
+		overhead:  overhead,
+		latency:   opts.ChannelLatency,
+		bandwidth: opts.ChannelBandwidth,
+		reg:       reg,
+	}
+	// Fabric series register up front, so the families exist (at zero)
+	// even for a single-host fleet with no cross-host channel.
+	fl.mBytes = reg.Counter("fleet_handoff_bytes_total",
+		"Sealed activation bytes carried across inter-host hand-off channels.")
+	fl.mSeconds = reg.Counter("fleet_handoff_seconds_total",
+		"Modeled wire time of inter-host hand-offs, in seconds.")
+	reg.GaugeFunc("fleet_router_queue_depth",
+		"Micro-batches currently in flight across the fleet router.",
+		func() float64 { return float64(fl.inflight.Load()) })
+	for i, h := range opts.Hosts {
+		host := h
+		reg.GaugeFunc("fleet_host_headroom_bytes",
+			"Unreserved usable EPC per fleet host.",
+			func() float64 { return float64(host.Headroom()) },
+			obs.Label{Key: "host", Value: strconv.Itoa(i)})
+	}
+
+	fail := func(err error) (*Fleet, error) {
+		for _, g := range fl.groups {
+			_ = g.sg.Close()
+		}
+		return nil, err
+	}
+	for gi, assignment := range placement.Groups {
+		shardHosts := make([]*enclave.Host, len(assignment))
+		for s, h := range assignment {
+			shardHosts[s] = opts.Hosts[h]
+		}
+		hd := &handoff{fl: fl, hosts: assignment, chans: make(map[int]*Channel)}
+		sg, err := f.NewShardGroup(core.ShardOptions{
+			Plan:            placement.Plan,
+			Hosts:           shardHosts,
+			Host:            shardHosts[0],
+			Handoff:         hd,
+			Batch:           batch,
+			OverheadBytes:   overhead,
+			Seed:            opts.Seed + int64(gi)*1024,
+			DisablePrefetch: opts.DisablePrefetch,
+			Metrics:         reg,
+			Labels:          []obs.Label{{Key: "group", Value: strconv.Itoa(gi)}},
+		})
+		if err != nil {
+			return fail(fmt.Errorf("fleet: group %d: %w", gi, err))
+		}
+		fl.groups = append(fl.groups, &group{sg: sg, hosts: assignment})
+	}
+	if err := f.RecordPlacement(placementEntries(placement)); err != nil {
+		return fail(fmt.Errorf("fleet: record placement: %w", err))
+	}
+	return fl, nil
+}
+
+// placementEntries flattens a placement for the durable manifest.
+func placementEntries(p Placement) []mirror.PlacementEntry {
+	var entries []mirror.PlacementEntry
+	for g, assignment := range p.Groups {
+		for s, h := range assignment {
+			entries = append(entries, mirror.PlacementEntry{Group: g, Shard: s, Host: h})
+		}
+	}
+	return entries
+}
+
+// persistedPlacement tries to restore the previously recorded
+// placement: the durable shard manifest gives the plan, the placement
+// manifest the host assignment. It is honoured only when it still
+// describes this fleet — dense groups each covering every shard exactly
+// once, host indices in range, and every host's recorded load fitting
+// its *current* headroom (hosts shrink, models change; a stale
+// placement replans rather than overcommitting a machine).
+func persistedPlacement(f *core.Framework, net *darknet.Network, headrooms []int, batch, overhead, replicas int) (Placement, bool) {
+	plan := f.PersistedShardPlan(len(net.Layers))
+	if plan == nil {
+		return Placement{}, false
+	}
+	entries, err := f.PersistedPlacement()
+	if err != nil || len(entries) == 0 {
+		return Placement{}, false
+	}
+	fps, err := footprints(net, plan, batch)
+	if err != nil {
+		return Placement{}, false
+	}
+	numGroups := 0
+	for _, e := range entries {
+		if e.Group >= numGroups {
+			numGroups = e.Group + 1
+		}
+	}
+	if len(entries) != numGroups*len(plan) {
+		return Placement{}, false
+	}
+	if replicas > 0 && numGroups != replicas {
+		return Placement{}, false
+	}
+	groups := make([][]int, numGroups)
+	for g := range groups {
+		groups[g] = make([]int, len(plan))
+		for s := range groups[g] {
+			groups[g][s] = -1
+		}
+	}
+	for _, e := range entries {
+		if e.Group < 0 || e.Shard < 0 || e.Shard >= len(plan) ||
+			e.Host < 0 || e.Host >= len(headrooms) || groups[e.Group][e.Shard] != -1 {
+			return Placement{}, false
+		}
+		groups[e.Group][e.Shard] = e.Host
+	}
+	load := make([]int, len(headrooms))
+	for _, assignment := range groups {
+		for s, h := range assignment {
+			load[h] += fps[s] + overhead
+		}
+	}
+	for h, l := range load {
+		if l > headrooms[h] {
+			return Placement{}, false
+		}
+	}
+	return Placement{Plan: plan, Footprints: fps, Groups: groups}, true
+}
+
+// pick routes one micro-batch: least-loaded by in-flight count, ties
+// broken by a consistent hash of the batch contents so equal-load
+// groups still spread deterministically.
+func (fl *Fleet) pick(images []float32) *group {
+	if len(fl.groups) == 1 {
+		return fl.groups[0]
+	}
+	best := -1
+	var bestLoad int64
+	tie := false
+	for i, g := range fl.groups {
+		load := g.inflight.Load()
+		switch {
+		case best == -1 || load < bestLoad:
+			best, bestLoad, tie = i, load, false
+		case load == bestLoad:
+			tie = true
+		}
+	}
+	if !tie {
+		return fl.groups[best]
+	}
+	h := fnv.New64a()
+	n := len(images)
+	if n > 64 {
+		n = 64
+	}
+	for _, v := range images[:n] {
+		var b [4]byte
+		u := uint32(v * 1e6)
+		b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+		_, _ = h.Write(b[:])
+	}
+	candidates := make([]*group, 0, len(fl.groups))
+	for _, g := range fl.groups {
+		if g.inflight.Load() == bestLoad {
+			candidates = append(candidates, g)
+		}
+	}
+	if len(candidates) == 0 {
+		return fl.groups[best]
+	}
+	return candidates[h.Sum64()%uint64(len(candidates))]
+}
+
+// ClassifyBatch routes the images to a replica group and pipelines
+// them through its shard stages. Safe for concurrent use.
+func (fl *Fleet) ClassifyBatch(images []float32) ([]int, error) {
+	return fl.ClassifyBatchCtx(context.Background(), images)
+}
+
+// ClassifyBatchCtx is ClassifyBatch with a context (obs.Trace spans
+// ride through to the shard pipeline). The read lock is held for the
+// whole batch, so a concurrent Refresh/Rotate/Close waits out every
+// admitted batch before flipping — no request is ever dropped by a
+// control operation.
+func (fl *Fleet) ClassifyBatchCtx(ctx context.Context, images []float32) ([]int, error) {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	if fl.closed {
+		return nil, ErrClosed
+	}
+	g := fl.pick(images)
+	g.inflight.Add(1)
+	fl.inflight.Add(1)
+	defer func() {
+		g.inflight.Add(-1)
+		fl.inflight.Add(-1)
+	}()
+	return g.sg.ClassifyBatchCtx(ctx, images)
+}
+
+// control drains the fleet and runs op on every replica group under
+// the write lock: one atomic fleet-wide flip.
+func (fl *Fleet) control(op func(*core.ShardGroup) (int, error)) (int, error) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return 0, ErrClosed
+	}
+	iter := 0
+	for gi, g := range fl.groups {
+		it, err := op(g.sg)
+		if err != nil {
+			// The errored group kept its old version coherently (shard
+			// groups stage their flips); groups before it already moved.
+			// Surface the split-version state to the caller.
+			return 0, fmt.Errorf("fleet: group %d: %w", gi, err)
+		}
+		iter = it
+	}
+	return iter, nil
+}
+
+// Refresh drains the fleet and rolls every replica group to the latest
+// published version together.
+func (fl *Fleet) Refresh() (int, error) {
+	return fl.control((*core.ShardGroup).Refresh)
+}
+
+// Rotate drains the fleet and re-provisions the framework's current
+// data key into every shard enclave of every group, then refreshes to
+// the snapshot published under it. Call Framework.RotateKey first.
+func (fl *Fleet) Rotate() (int, error) {
+	return fl.control((*core.ShardGroup).Rotate)
+}
+
+// Close drains the fleet and tears down every replica group, returning
+// all shard enclaves' footprints to their hosts.
+func (fl *Fleet) Close() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return ErrClosed
+	}
+	fl.closed = true
+	var firstErr error
+	for _, g := range fl.groups {
+		if err := g.sg.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Hosts returns the number of hosts in the fleet.
+func (fl *Fleet) Hosts() int { return len(fl.hosts) }
+
+// Groups returns the number of replica groups.
+func (fl *Fleet) Groups() int { return len(fl.groups) }
+
+// Shards returns the number of pipeline stages per replica group.
+func (fl *Fleet) Shards() int { return len(fl.placement.Plan) }
+
+// Window returns the fleet's total in-flight batch capacity (the sum
+// of the groups' pipeline windows).
+func (fl *Fleet) Window() int {
+	w := 0
+	for _, g := range fl.groups {
+		w += g.sg.Window()
+	}
+	return w
+}
+
+// Streaming reports whether any replica group streams parked ranges
+// from PM per batch.
+func (fl *Fleet) Streaming() bool {
+	for _, g := range fl.groups {
+		if g.sg.Streaming() {
+			return true
+		}
+	}
+	return false
+}
+
+// Batch returns the plan's micro-batch bound.
+func (fl *Fleet) Batch() int { return fl.batch }
+
+// InputSize returns the flattened per-image input size.
+func (fl *Fleet) InputSize() int { return fl.inputSize }
+
+// Version returns the published model version the fleet serves (the
+// groups flip together, so any group's answer is the fleet's).
+func (fl *Fleet) Version() uint64 { return fl.groups[0].sg.Version() }
+
+// Iteration returns the training iteration of the served snapshot.
+func (fl *Fleet) Iteration() int { return fl.groups[0].sg.Iteration() }
+
+// Placement returns the fleet's placement (shared plan, per-group host
+// assignment).
+func (fl *Fleet) Placement() Placement {
+	p := Placement{
+		Plan:       append([]darknet.ShardRange(nil), fl.placement.Plan...),
+		Footprints: append([]int(nil), fl.placement.Footprints...),
+		Groups:     make([][]int, len(fl.placement.Groups)),
+	}
+	for g, a := range fl.placement.Groups {
+		p.Groups[g] = append([]int(nil), a...)
+	}
+	return p
+}
+
+// Metrics returns the registry holding the fleet's fabric series and
+// every group's shard counters.
+func (fl *Fleet) Metrics() *obs.Registry { return fl.reg }
+
+// InFlight returns the micro-batches currently inside the router.
+func (fl *Fleet) InFlight() int { return int(fl.inflight.Load()) }
+
+// HandoffBytes returns the sealed bytes carried across all inter-host
+// channels.
+func (fl *Fleet) HandoffBytes() uint64 {
+	fl.chanMu.Lock()
+	defer fl.chanMu.Unlock()
+	var total uint64
+	for _, c := range fl.channels {
+		total += c.Bytes()
+	}
+	return total
+}
+
+// HandoffTransfers returns the number of inter-host hand-offs carried.
+func (fl *Fleet) HandoffTransfers() uint64 {
+	fl.chanMu.Lock()
+	defer fl.chanMu.Unlock()
+	var total uint64
+	for _, c := range fl.channels {
+		total += c.Transfers()
+	}
+	return total
+}
+
+// Channels returns the number of attested inter-host channels.
+func (fl *Fleet) Channels() int {
+	fl.chanMu.Lock()
+	defer fl.chanMu.Unlock()
+	return len(fl.channels)
+}
+
+// sumGroups totals one shard-group counter across the fleet.
+func (fl *Fleet) sumGroups(pick func(*core.ShardGroup) uint64) uint64 {
+	var total uint64
+	for _, g := range fl.groups {
+		total += pick(g.sg)
+	}
+	return total
+}
+
+// Restores counts layer-range restores from PM across all groups.
+func (fl *Fleet) Restores() uint64 {
+	return fl.sumGroups((*core.ShardGroup).Restores)
+}
+
+// Stalls counts pipeline stalls across all groups.
+func (fl *Fleet) Stalls() uint64 {
+	return fl.sumGroups((*core.ShardGroup).Stalls)
+}
+
+// PrefetchWaits counts prefetch waits across all groups.
+func (fl *Fleet) PrefetchWaits() uint64 {
+	return fl.sumGroups((*core.ShardGroup).PrefetchWaits)
+}
+
+// PrefetchedRestores counts background-prefetched restores across all
+// groups.
+func (fl *Fleet) PrefetchedRestores() uint64 {
+	return fl.sumGroups((*core.ShardGroup).PrefetchedRestores)
+}
+
+// HostReport is one host's view in the fleet: its EPC budget, load,
+// paging, and the shard ranges placed on it.
+type HostReport struct {
+	Host              int      `json:"host"`
+	UsableEPC         int      `json:"usable_epc_bytes"`
+	ResidentBytes     int      `json:"resident_bytes"`
+	PeakResidentBytes int      `json:"peak_resident_bytes"`
+	HeadroomBytes     int      `json:"headroom_bytes"`
+	EPCPressure       float64  `json:"epc_pressure"`
+	PageSwaps         uint64   `json:"page_swaps"`
+	Shards            []string `json:"shards"`
+}
+
+// HostReports returns one report per fleet host.
+func (fl *Fleet) HostReports() []HostReport {
+	reports := make([]HostReport, len(fl.hosts))
+	for i, h := range fl.hosts {
+		st := h.Stats()
+		usable := h.UsableEPC()
+		r := HostReport{
+			Host:              i,
+			UsableEPC:         usable,
+			ResidentBytes:     st.ResidentBytes,
+			PeakResidentBytes: st.PeakResidentBytes,
+			HeadroomBytes:     h.Headroom(),
+			PageSwaps:         st.PageSwaps,
+		}
+		if usable > 0 {
+			r.EPCPressure = float64(st.ResidentBytes) / float64(usable)
+		}
+		for g, assignment := range fl.placement.Groups {
+			for s, host := range assignment {
+				if host == i {
+					rng := fl.placement.Plan[s]
+					r.Shards = append(r.Shards,
+						fmt.Sprintf("g%d:[%d,%d)", g, rng.From, rng.To))
+				}
+			}
+		}
+		reports[i] = r
+	}
+	return reports
+}

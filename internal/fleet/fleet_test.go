@@ -1,0 +1,363 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"plinius/internal/core"
+	"plinius/internal/darknet"
+	"plinius/internal/enclave"
+	"plinius/internal/mnist"
+)
+
+// newOverEPCFramework builds a framework around a synthetic model whose
+// replica footprint exceeds hostEPC — the regime where no single fleet
+// host can serve it whole.
+func newOverEPCFramework(t *testing.T, modelBytes int, seed int64) *core.Framework {
+	t.Helper()
+	cfgText, err := core.SyntheticModelConfig(modelBytes)
+	if err != nil {
+		t.Fatalf("SyntheticModelConfig: %v", err)
+	}
+	f, err := core.New(core.Config{
+		ModelConfig:        cfgText,
+		PMBytes:            64 << 20,
+		Seed:               seed,
+		TrainOverheadBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("New framework: %v", err)
+	}
+	return f
+}
+
+// newFleetHosts builds n identical serving hosts with the given EPC.
+func newFleetHosts(f *core.Framework, n, epcBytes int) []*enclave.Host {
+	hosts := make([]*enclave.Host, n)
+	for i := range hosts {
+		hosts[i] = enclave.NewHost(f.Host.Profile(), enclave.WithHostEPC(epcBytes))
+	}
+	return hosts
+}
+
+// TestFleetServesOverEPCModelZeroFaults is the tentpole acceptance
+// check: a model whose footprint exceeds any single host's usable EPC
+// serves across a 3-host fleet fully resident — zero paging faults on
+// every host — with predictions identical to the sequential enclave
+// model, and with sealed activations crossing attested inter-host
+// channels.
+func TestFleetServesOverEPCModelZeroFaults(t *testing.T) {
+	const (
+		hostEPC = 5 << 20
+		batch   = 1
+		batches = 4
+	)
+	f := newOverEPCFramework(t, 6<<20, 11)
+	if f.ReplicaFootprint() <= hostEPC {
+		t.Fatalf("replica footprint %d fits a %d-byte host; test needs the over-EPC regime",
+			f.ReplicaFootprint(), hostEPC)
+	}
+	hosts := newFleetHosts(f, 3, hostEPC)
+	fl, err := New(f, Options{
+		Hosts:         hosts,
+		Batch:         batch,
+		OverheadBytes: 64 << 10,
+		Seed:          12,
+	})
+	if err != nil {
+		t.Fatalf("New fleet: %v", err)
+	}
+	defer fl.Close()
+
+	if fl.Streaming() {
+		t.Fatalf("fleet streams with aggregate capacity %d for a %d-byte model; want resident",
+			3*hostEPC, f.ReplicaFootprint())
+	}
+	if fl.Shards() < 2 {
+		t.Fatalf("Shards = %d, want a real split", fl.Shards())
+	}
+	if fl.Channels() == 0 {
+		t.Fatal("no inter-host channels although the model cannot fit one host")
+	}
+
+	setupFaults := make([]uint64, len(hosts))
+	for i, h := range hosts {
+		setupFaults[i] = h.Stats().PageSwaps
+	}
+	ds := mnist.Synthetic(batch*batches, 11)
+	in := fl.InputSize()
+	for b := 0; b < batches; b++ {
+		images := ds.Images[b*batch*in : (b+1)*batch*in]
+		got, err := fl.ClassifyBatch(images)
+		if err != nil {
+			t.Fatalf("ClassifyBatch %d: %v", b, err)
+		}
+		for i, cls := range got {
+			want, err := f.Classify(ds.Image(b*batch + i))
+			if err != nil {
+				t.Fatalf("sequential classify: %v", err)
+			}
+			if cls != want {
+				t.Fatalf("batch %d image %d: class %d, want %d", b, i, cls, want)
+			}
+		}
+	}
+	for i, h := range hosts {
+		if faults := h.Stats().PageSwaps - setupFaults[i]; faults != 0 {
+			t.Fatalf("host %d paid %d paging faults serving; want 0", i, faults)
+		}
+		if h.OverEPC() {
+			t.Fatalf("host %d overcommitted: resident %d of %d", i, h.Resident(), h.UsableEPC())
+		}
+	}
+	if fl.HandoffTransfers() == 0 || fl.HandoffBytes() == 0 {
+		t.Fatalf("hand-off accounting empty (%d transfers, %d bytes) although stages span hosts",
+			fl.HandoffTransfers(), fl.HandoffBytes())
+	}
+
+	// The fabric series are registered and live.
+	flat := map[string]bool{}
+	for _, fam := range fl.Metrics().Snapshot() {
+		flat[fam.Name] = true
+	}
+	for _, name := range []string{
+		"fleet_handoff_bytes_total", "fleet_handoff_seconds_total",
+		"fleet_router_queue_depth", "fleet_host_headroom_bytes",
+	} {
+		if !flat[name] {
+			t.Fatalf("metric family %q not registered", name)
+		}
+	}
+}
+
+// TestFleetRefreshAndRotate: control operations flip every replica
+// group together and serving continues bit-identical to the framework
+// afterwards.
+func TestFleetRefreshAndRotate(t *testing.T) {
+	f := newOverEPCFramework(t, 4<<20, 21)
+	hosts := newFleetHosts(f, 3, 4<<20)
+	fl, err := New(f, Options{Hosts: hosts, Batch: 1, OverheadBytes: 64 << 10, Seed: 22})
+	if err != nil {
+		t.Fatalf("New fleet: %v", err)
+	}
+	defer fl.Close()
+
+	if _, err := f.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	v0 := fl.Version()
+	if _, err := fl.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if fl.Version() <= v0 {
+		t.Fatalf("Version %d after Refresh, want > %d", fl.Version(), v0)
+	}
+	if _, err := f.RotateKey(); err != nil {
+		t.Fatalf("RotateKey: %v", err)
+	}
+	if _, err := fl.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	ds := mnist.Synthetic(1, 21)
+	got, err := fl.ClassifyBatch(ds.Images)
+	if err != nil {
+		t.Fatalf("ClassifyBatch after rotate: %v", err)
+	}
+	for i, cls := range got {
+		want, err := f.Classify(ds.Image(i))
+		if err != nil {
+			t.Fatalf("sequential classify: %v", err)
+		}
+		if cls != want {
+			t.Fatalf("after rotate image %d: class %d, want %d", i, cls, want)
+		}
+	}
+}
+
+// TestFleetControlDropsNoRequests hammers the fleet with concurrent
+// batches while Refresh and Rotate flip it mid-traffic: every request
+// must succeed — the control path drains, flips, and resumes without
+// dropping a single one. Run under -race this also exercises the
+// intake/control lock discipline.
+func TestFleetControlDropsNoRequests(t *testing.T) {
+	f := newOverEPCFramework(t, 2<<20, 31)
+	hosts := newFleetHosts(f, 3, 2<<20)
+	fl, err := New(f, Options{Hosts: hosts, Batch: 1, OverheadBytes: 64 << 10, Seed: 32})
+	if err != nil {
+		t.Fatalf("New fleet: %v", err)
+	}
+	defer fl.Close()
+
+	const clients = 4
+	const perClient = 4
+	ds := mnist.Synthetic(1, 31)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient+2)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := fl.ClassifyBatch(ds.Images); err != nil {
+					errCh <- fmt.Errorf("classify: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := f.Publish(); err != nil {
+			errCh <- fmt.Errorf("publish: %w", err)
+			return
+		}
+		if _, err := fl.Refresh(); err != nil {
+			errCh <- fmt.Errorf("refresh: %w", err)
+			return
+		}
+		if _, err := f.RotateKey(); err != nil {
+			errCh <- fmt.Errorf("rotate key: %w", err)
+			return
+		}
+		if _, err := fl.Rotate(); err != nil {
+			errCh <- fmt.Errorf("rotate: %w", err)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("request dropped during control ops: %v", err)
+	}
+	if fl.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", fl.InFlight())
+	}
+}
+
+// TestFleetRestoresPersistedPlacement: a fleet re-created over the
+// same PM restores the recorded plan and host assignment instead of
+// replanning.
+func TestFleetRestoresPersistedPlacement(t *testing.T) {
+	f := newOverEPCFramework(t, 4<<20, 41)
+	hosts := newFleetHosts(f, 3, 4<<20)
+	fl1, err := New(f, Options{Hosts: hosts, Batch: 1, OverheadBytes: 64 << 10, Seed: 42})
+	if err != nil {
+		t.Fatalf("first fleet: %v", err)
+	}
+	want := fl1.Placement()
+	if err := fl1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fl2, err := New(f, Options{Hosts: hosts, Batch: 1, OverheadBytes: 64 << 10, Seed: 43})
+	if err != nil {
+		t.Fatalf("second fleet: %v", err)
+	}
+	defer fl2.Close()
+	got := fl2.Placement()
+	if len(got.Plan) != len(want.Plan) {
+		t.Fatalf("recreated plan has %d shards, recorded %d", len(got.Plan), len(want.Plan))
+	}
+	for i := range want.Plan {
+		if got.Plan[i] != want.Plan[i] {
+			t.Fatalf("plan[%d] = %v, recorded %v", i, got.Plan[i], want.Plan[i])
+		}
+	}
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("recreated %d groups, recorded %d", len(got.Groups), len(want.Groups))
+	}
+	for g := range want.Groups {
+		for s := range want.Groups[g] {
+			if got.Groups[g][s] != want.Groups[g][s] {
+				t.Fatalf("group %d shard %d on host %d, recorded %d",
+					g, s, got.Groups[g][s], want.Groups[g][s])
+			}
+		}
+	}
+}
+
+// TestFleetInfeasibleTyped: a fleet none of whose hosts can hold even
+// the parked shard overhead reports ErrInfeasible, the error the
+// serving front end maps to its distinct 503 body.
+func TestFleetInfeasibleTyped(t *testing.T) {
+	f := newOverEPCFramework(t, 2<<20, 51)
+	hosts := newFleetHosts(f, 2, 32<<10)
+	_, err := New(f, Options{Hosts: hosts, OverheadBytes: 64 << 10, Seed: 52})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestFleetRouterSpreadsLoad: with replica groups placed, concurrent
+// traffic reaches more than one group.
+func TestFleetRouterSpreadsLoad(t *testing.T) {
+	f := newOverEPCFramework(t, 1<<20, 61)
+	hosts := newFleetHosts(f, 2, 8<<20)
+	fl, err := New(f, Options{Hosts: hosts, Batch: 1, OverheadBytes: 64 << 10, Seed: 62, Replicas: 2})
+	if err != nil {
+		t.Fatalf("New fleet: %v", err)
+	}
+	defer fl.Close()
+	if fl.Groups() != 2 {
+		t.Fatalf("Groups = %d, want 2", fl.Groups())
+	}
+	ds := mnist.Synthetic(1, 61)
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				if _, err := fl.ClassifyBatch(ds.Images); err != nil {
+					t.Errorf("classify: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Both groups did restore work (labeled series keep them apart).
+	var perGroup [2]bool
+	for _, fam := range fl.Metrics().Snapshot() {
+		if fam.Name != "shard_restores_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			for _, l := range s.Labels {
+				if l.Key == "group" && s.Value > 0 {
+					if l.Value == "0" {
+						perGroup[0] = true
+					}
+					if l.Value == "1" {
+						perGroup[1] = true
+					}
+				}
+			}
+		}
+	}
+	if !perGroup[0] || !perGroup[1] {
+		t.Logf("router concentration: group0=%v group1=%v (load-dependent, informational)", perGroup[0], perGroup[1])
+	}
+}
+
+// TestPlacementEntriesRoundTrip pins the manifest flattening used for
+// the durable placement record.
+func TestPlacementEntriesRoundTrip(t *testing.T) {
+	p := Placement{
+		Plan:   []darknet.ShardRange{{From: 0, To: 2}, {From: 2, To: 5}},
+		Groups: [][]int{{0, 1}, {2, 0}},
+	}
+	entries := placementEntries(p)
+	if len(entries) != 4 {
+		t.Fatalf("len(entries) = %d, want 4", len(entries))
+	}
+	want := []struct{ g, s, h int }{{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {1, 1, 0}}
+	for i, w := range want {
+		e := entries[i]
+		if e.Group != w.g || e.Shard != w.s || e.Host != w.h {
+			t.Fatalf("entries[%d] = %+v, want %+v", i, e, w)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"errors"
+	mrand "math/rand"
+	"strings"
+	"testing"
+
+	"plinius/internal/core"
+	"plinius/internal/darknet"
+)
+
+// testNet parses a synthetic model of roughly targetBytes parameters.
+func testNet(t *testing.T, targetBytes int, seed int64) *darknet.Network {
+	t.Helper()
+	cfgText, err := core.SyntheticModelConfig(targetBytes)
+	if err != nil {
+		t.Fatalf("SyntheticModelConfig(%d): %v", targetBytes, err)
+	}
+	net, err := darknet.ParseConfig(strings.NewReader(cfgText), mrand.New(mrand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	return net
+}
+
+// checkPlacement verifies the planner's invariants: the plan is a
+// contiguous cover of every layer, every replica group covers every
+// shard exactly once on an in-range host, and no host's total load
+// (hot footprints plus parked overheads) exceeds the headroom it
+// offered.
+func checkPlacement(t *testing.T, net *darknet.Network, p Placement, headrooms []int, batch, overhead int) {
+	t.Helper()
+	next := 0
+	for i, r := range p.Plan {
+		if r.From != next || r.To <= r.From {
+			t.Fatalf("plan %v: shard %d breaks the contiguous cover", p.Plan, i)
+		}
+		next = r.To
+	}
+	if next != len(net.Layers) {
+		t.Fatalf("plan %v covers %d layers, model has %d", p.Plan, next, len(net.Layers))
+	}
+	if len(p.Footprints) != len(p.Plan) {
+		t.Fatalf("%d footprints for a %d-shard plan", len(p.Footprints), len(p.Plan))
+	}
+	for i, r := range p.Plan {
+		fp, err := net.ShardFootprint(r, batch)
+		if err != nil {
+			t.Fatalf("ShardFootprint(%v): %v", r, err)
+		}
+		if fp != p.Footprints[i] {
+			t.Fatalf("footprint[%d] = %d, want %d", i, p.Footprints[i], fp)
+		}
+	}
+	if len(p.Groups) == 0 {
+		t.Fatal("placement has no replica groups")
+	}
+	load := make([]int, len(headrooms))
+	for g, assignment := range p.Groups {
+		if len(assignment) != len(p.Plan) {
+			t.Fatalf("group %d places %d shards, plan has %d", g, len(assignment), len(p.Plan))
+		}
+		for s, h := range assignment {
+			if h < 0 || h >= len(headrooms) {
+				t.Fatalf("group %d shard %d on host %d, fleet has %d", g, s, h, len(headrooms))
+			}
+			load[h] += p.Footprints[s] + overhead
+		}
+	}
+	for h, l := range load {
+		if l > headrooms[h] {
+			t.Fatalf("host %d packed to %d bytes, headroom %d", h, l, headrooms[h])
+		}
+	}
+}
+
+// TestPlanPlacementProperties drives the planner over generated
+// fleets and models: any successful placement respects every host's
+// headroom and covers every layer exactly once per replica group; any
+// failure is the typed ErrInfeasible, never a panic.
+func TestPlanPlacementProperties(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(41))
+	const overhead = 64 << 10
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		net := testNet(t, (1+rng.Intn(8))<<20, int64(trial))
+		numHosts := 1 + rng.Intn(5)
+		headrooms := make([]int, numHosts)
+		for i := range headrooms {
+			headrooms[i] = (128 << 10) + rng.Intn(6<<20)
+		}
+		batch := 1 + rng.Intn(3)
+		replicas := rng.Intn(4) - 1 // -1..2: auto and explicit
+
+		p, err := PlanPlacement(net, headrooms, batch, overhead, replicas)
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: error is not ErrInfeasible: %v", trial, err)
+			}
+			infeasible++
+			continue
+		}
+		feasible++
+		checkPlacement(t, net, p, headrooms, batch, overhead)
+		if replicas > 0 && len(p.Groups) != replicas {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(p.Groups), replicas)
+		}
+		if replicas <= 0 && (len(p.Groups) < 1 || len(p.Groups) > numHosts) {
+			t.Fatalf("trial %d: auto placed %d groups on %d hosts", trial, len(p.Groups), numHosts)
+		}
+	}
+	// The generator spans both regimes; a sweep that never exercises
+	// one of them is not testing the property it claims to.
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("sweep hit %d feasible / %d infeasible placements; want both", feasible, infeasible)
+	}
+}
+
+// TestPlanPlacementInfeasibleTyped: inputs with no possible packing
+// return ErrInfeasible rather than panicking or succeeding.
+func TestPlanPlacementInfeasibleTyped(t *testing.T) {
+	net := testNet(t, 4<<20, 1)
+	cases := []struct {
+		name      string
+		headrooms []int
+		overhead  int
+		replicas  int
+	}{
+		{"no hosts", nil, 1 << 10, 1},
+		{"headroom under overhead", []int{32 << 10}, 64 << 10, 1},
+		{"hosts too small for one layer", []int{96 << 10, 96 << 10}, 1 << 10, 1},
+		{"capacity for one group, two asked", []int{5 << 20}, 64 << 10, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := PlanPlacement(net, tc.headrooms, 1, tc.overhead, tc.replicas)
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("err = %v, want ErrInfeasible", err)
+			}
+		})
+	}
+	if _, err := PlanPlacement(nil, []int{1 << 20}, 1, 1<<10, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("nil model: err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestPlanPlacementReplicaScaling: auto replica count grows with fleet
+// capacity — a fleet with room for k copies places k groups.
+func TestPlanPlacementReplicaScaling(t *testing.T) {
+	net := testNet(t, 2<<20, 2)
+	const overhead = 64 << 10
+	one, err := PlanPlacement(net, []int{4 << 20}, 1, overhead, 0)
+	if err != nil {
+		t.Fatalf("one host: %v", err)
+	}
+	if len(one.Groups) != 1 {
+		t.Fatalf("one host: %d groups, want 1", len(one.Groups))
+	}
+	many, err := PlanPlacement(net, []int{4 << 20, 4 << 20, 4 << 20}, 1, overhead, 0)
+	if err != nil {
+		t.Fatalf("three hosts: %v", err)
+	}
+	if len(many.Groups) < 2 {
+		t.Fatalf("three hosts with triple capacity placed %d groups, want >= 2", len(many.Groups))
+	}
+	checkPlacement(t, net, many, []int{4 << 20, 4 << 20, 4 << 20}, 1, overhead)
+}

@@ -1,0 +1,90 @@
+package mirror
+
+import (
+	"testing"
+
+	"plinius/internal/romulus"
+)
+
+// TestPlacementRoundTripAndReuse: the fleet placement manifest persists
+// across a publication re-open (crash consistency), rewrites in place
+// when the new placement fits its region, and reallocates when it
+// grows — the same durability contract as the shard manifest it lives
+// beside.
+func TestPlacementRoundTripAndReuse(t *testing.T) {
+	dev, rom := testHeap(t, 32<<20)
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	if e, err := p.Placement(); err != nil || e != nil {
+		t.Fatalf("fresh placement = %v, %v; want nil, nil", e, err)
+	}
+	if err := p.RecordPlacement(nil); err == nil {
+		t.Fatal("RecordPlacement(nil) accepted an empty placement")
+	}
+
+	// Two replica groups of two shards across three hosts.
+	want := []PlacementEntry{
+		{Group: 0, Shard: 0, Host: 0},
+		{Group: 0, Shard: 1, Host: 1},
+		{Group: 1, Shard: 0, Host: 2},
+		{Group: 1, Shard: 1, Host: 0},
+	}
+	if err := p.RecordPlacement(want); err != nil {
+		t.Fatalf("RecordPlacement: %v", err)
+	}
+
+	// Re-open after a crash: the placement must survive intact.
+	dev.Crash()
+	rom2, err := romulus.Open(dev)
+	if err != nil {
+		t.Fatalf("romulus.Open after crash: %v", err)
+	}
+	p2, err := OpenPublication(rom2)
+	if err != nil {
+		t.Fatalf("OpenPublication after crash: %v", err)
+	}
+	got, err := p2.Placement()
+	if err != nil {
+		t.Fatalf("Placement after crash: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("placement after crash has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("placement[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A smaller placement rewrites the same region in place.
+	off1, _ := rom2.LoadUint64(p2.hdrOff + pubHdrPlacementOff)
+	smaller := []PlacementEntry{{Group: 0, Shard: 0, Host: 1}}
+	if err := p2.RecordPlacement(smaller); err != nil {
+		t.Fatalf("RecordPlacement smaller: %v", err)
+	}
+	off2, _ := rom2.LoadUint64(p2.hdrOff + pubHdrPlacementOff)
+	if off1 != off2 {
+		t.Fatalf("smaller placement moved the region: %d -> %d", off1, off2)
+	}
+	if got, _ := p2.Placement(); len(got) != 1 || got[0] != smaller[0] {
+		t.Fatalf("smaller placement read back %v", got)
+	}
+
+	// A larger placement outgrows the region and reallocates.
+	larger := make([]PlacementEntry, 6)
+	for i := range larger {
+		larger[i] = PlacementEntry{Group: i / 3, Shard: i % 3, Host: i % 2}
+	}
+	if err := p2.RecordPlacement(larger); err != nil {
+		t.Fatalf("RecordPlacement larger: %v", err)
+	}
+	off3, _ := rom2.LoadUint64(p2.hdrOff + pubHdrPlacementOff)
+	if off3 == off1 {
+		t.Fatal("outgrown placement was not reallocated")
+	}
+	if got, _ := p2.Placement(); len(got) != len(larger) {
+		t.Fatalf("larger placement read back %d entries, want %d", len(got), len(larger))
+	}
+}

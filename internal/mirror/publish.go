@@ -61,9 +61,19 @@ const (
 	pubHdrManifestOff = pubHdrSlots + maxPubSlots*pubSlotEntry
 	pubHdrManifestCap = pubHdrManifestOff + 8
 
-	pubHdrSize = pubHdrManifestCap + 8
+	// Placement manifest pointer: the PM offset and entry capacity of
+	// the region recording which host of a serving fleet each replica
+	// group placed each shard on (placement region: count | cap x
+	// {group, shard, host}). Together with the shard manifest it lets a
+	// re-created fleet restore the exact placement the previous
+	// incarnation served with.
+	pubHdrPlacementOff = pubHdrManifestCap + 8
+	pubHdrPlacementCap = pubHdrPlacementOff + 8
 
-	manifestEntrySize = 16 // fromNode(8) + toNode(8)
+	pubHdrSize = pubHdrPlacementCap + 8
+
+	manifestEntrySize  = 16 // fromNode(8) + toNode(8)
+	placementEntrySize = 24 // group(8) + shard(8) + host(8)
 )
 
 // Publication errors.
@@ -494,6 +504,107 @@ func (p *Publication) ShardManifest() ([]ShardManifestEntry, error) {
 			return nil, err
 		}
 		entries[i] = ShardManifestEntry{From: int(from), To: int(to)}
+	}
+	return entries, nil
+}
+
+// PlacementEntry records one cell of a fleet placement: replica group
+// Group serves shard index Shard (of the shard manifest's plan) on
+// fleet host index Host. Host indices are positions in the fleet's
+// host list at planning time; a re-created fleet with a different host
+// count simply replans.
+type PlacementEntry struct {
+	Group, Shard, Host int
+}
+
+// RecordPlacement persists the fleet placement alongside the shard
+// manifest in one durable transaction. Like RecordShardManifest, an
+// existing region is rewritten in place when the new placement fits
+// its capacity and a larger one gets a fresh region. The caller
+// serializes PM access.
+func (p *Publication) RecordPlacement(entries []PlacementEntry) error {
+	if len(entries) == 0 {
+		return errors.New("mirror: empty placement manifest")
+	}
+	off, err := p.rom.LoadUint64(p.hdrOff + pubHdrPlacementOff)
+	if err != nil {
+		return err
+	}
+	capEntries, err := p.rom.LoadUint64(p.hdrOff + pubHdrPlacementCap)
+	if err != nil {
+		return err
+	}
+	return p.rom.Update(func() error {
+		if off == 0 || int(capEntries) < len(entries) {
+			region, err := p.rom.Alloc(8 + placementEntrySize*len(entries))
+			if err != nil {
+				return err
+			}
+			off = uint64(region)
+			capEntries = uint64(len(entries))
+			if err := p.rom.StoreUint64(p.hdrOff+pubHdrPlacementOff, off); err != nil {
+				return err
+			}
+			if err := p.rom.StoreUint64(p.hdrOff+pubHdrPlacementCap, capEntries); err != nil {
+				return err
+			}
+		}
+		if err := p.rom.StoreUint64(int(off), uint64(len(entries))); err != nil {
+			return err
+		}
+		for i, e := range entries {
+			entry := int(off) + 8 + placementEntrySize*i
+			if err := p.rom.StoreUint64(entry, uint64(e.Group)); err != nil {
+				return err
+			}
+			if err := p.rom.StoreUint64(entry+8, uint64(e.Shard)); err != nil {
+				return err
+			}
+			if err := p.rom.StoreUint64(entry+16, uint64(e.Host)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Placement reads the persisted fleet placement, nil if none has been
+// recorded. The caller serializes PM access.
+func (p *Publication) Placement() ([]PlacementEntry, error) {
+	off, err := p.rom.LoadUint64(p.hdrOff + pubHdrPlacementOff)
+	if err != nil {
+		return nil, err
+	}
+	if off == 0 {
+		return nil, nil
+	}
+	count, err := p.rom.LoadUint64(int(off))
+	if err != nil {
+		return nil, err
+	}
+	capEntries, err := p.rom.LoadUint64(p.hdrOff + pubHdrPlacementCap)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > capEntries {
+		return nil, fmt.Errorf("%w: placement count %d, capacity %d", ErrPubCorrupt, count, capEntries)
+	}
+	entries := make([]PlacementEntry, count)
+	for i := range entries {
+		entry := int(off) + 8 + placementEntrySize*i
+		group, err := p.rom.LoadUint64(entry)
+		if err != nil {
+			return nil, err
+		}
+		shard, err := p.rom.LoadUint64(entry + 8)
+		if err != nil {
+			return nil, err
+		}
+		host, err := p.rom.LoadUint64(entry + 16)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = PlacementEntry{Group: int(group), Shard: int(shard), Host: int(host)}
 	}
 	return entries, nil
 }

@@ -58,6 +58,7 @@ import (
 
 	"plinius/internal/core"
 	"plinius/internal/enclave"
+	"plinius/internal/fleet"
 	"plinius/internal/obs"
 )
 
@@ -126,6 +127,24 @@ type Options struct {
 	// in shard mode (default core.DefaultShardOverheadBytes). Small
 	// hosts shard at finer granularity with a smaller overhead.
 	ShardOverheadBytes int
+	// Fleet, when non-empty, serves through the multi-host fabric
+	// (internal/fleet) instead of replicas or a single shard group:
+	// the model is bin-packed across these hosts' EPC headrooms into
+	// replica groups of pipelined shard enclaves joined by attested
+	// inter-host channels, and micro-batches are routed least-loaded
+	// across the groups. Workers and Shards are ignored in fleet mode;
+	// the worker count is the fleet's aggregate pipeline window. A
+	// model with no feasible placement fails construction with an
+	// error matching fleet.ErrInfeasible.
+	Fleet []*enclave.Host
+	// FleetAuto gates the fleet the way ShardAuto gates sharding: the
+	// Fleet hosts are engaged only when a whole-model replica exceeds
+	// the framework host's EPC headroom; while a replica fits, the
+	// server ignores Fleet and serves the plain replica pool.
+	FleetAuto bool
+	// FleetReplicas is the number of replica groups in fleet mode;
+	// zero packs as many as the fleet's capacity admits.
+	FleetReplicas int
 	// Metrics is the registry the server's metrics (and, in shard
 	// mode, the shard pipeline's) register into. Nil gets the server a
 	// private registry, retrievable via Server.Metrics — servers are
@@ -219,6 +238,7 @@ type Server struct {
 	inputSize int
 	replicas  []*core.Replica
 	group     *core.ShardGroup // non-nil in shard mode; replicas empty
+	fleet     *fleet.Fleet     // non-nil in fleet mode; group and replicas empty
 	workers   int
 
 	reqCh   chan *request
@@ -296,6 +316,43 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 		func() float64 { return float64(s.host.Resident()) })
 	reg.GaugeFunc("serve_queue_len", "Requests currently queued for batching.",
 		func() float64 { return float64(len(s.reqCh)) })
+
+	// Fleet serving: the multi-host fabric, when Options.Fleet hosts
+	// are given (gated on the over-headroom regime by FleetAuto). The
+	// fleet is one logical pool: the router inside it spreads batches
+	// over replica groups, so the server runs one worker per slot of
+	// the aggregate pipeline window.
+	fleeted := len(opts.Fleet) > 0
+	if fleeted && opts.FleetAuto {
+		fp := f.ReplicaFootprint()
+		fleeted = fp > 0 && fp > f.Host.Headroom()
+	}
+	if fleeted {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("serve: cancelled building fleet: %w", err)
+		}
+		fl, err := fleet.New(f, fleet.Options{
+			Hosts:         opts.Fleet,
+			Replicas:      opts.FleetReplicas,
+			Batch:         opts.MaxBatch,
+			OverheadBytes: opts.ShardOverheadBytes,
+			Seed:          opts.Seed,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: fleet: %w", err)
+		}
+		s.fleet = fl
+		s.workers = fl.Window()
+		s.iter.Store(int64(fl.Iteration()))
+		s.ver.Store(fl.Version())
+		s.wg.Add(1 + s.workers)
+		go s.batcher()
+		for i := 0; i < s.workers; i++ {
+			go s.fleetWorker(i)
+		}
+		return s, nil
+	}
 
 	// Sharded serving: explicit Options.Shards, or ShardAuto when even
 	// one whole-model replica would blow past the host's remaining EPC
@@ -617,9 +674,22 @@ func (s *Server) shardWorker(id int) {
 	}
 }
 
+// fleetWorker serves micro-batches through the multi-host fabric: the
+// fleet's router picks a replica group per batch, and several workers
+// submit concurrently to keep every group's pipeline full.
+func (s *Server) fleetWorker(id int) {
+	defer s.wg.Done()
+	buf := make([]float32, s.opts.MaxBatch*s.inputSize)
+	live := make([]*request, 0, s.opts.MaxBatch)
+	for batch := range s.batchCh {
+		live = s.serveBatch(id, batch, live, buf, s.fleet.ClassifyBatchCtx, s.fleet.Version)
+	}
+}
+
 // Close stops accepting requests, serves everything already queued or
-// in flight, tears down the replicas (or the shard group) and returns.
-// Subsequent Classify and Close calls return ErrClosed.
+// in flight, tears down the replicas (or the shard group, or the
+// fleet) and returns. Subsequent Classify and Close calls return
+// ErrClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -631,6 +701,9 @@ func (s *Server) Close() error {
 
 	close(s.reqCh)
 	s.wg.Wait()
+	if s.fleet != nil {
+		return s.fleet.Close()
+	}
 	if s.group != nil {
 		return s.group.Close()
 	}
@@ -648,18 +721,25 @@ func (s *Server) Close() error {
 func (s *Server) Workers() int { return s.workers }
 
 // Shards returns the number of shard enclaves the model is pipelined
-// across, 0 when serving whole-model replicas.
+// across (per replica group in fleet mode), 0 when serving whole-model
+// replicas.
 func (s *Server) Shards() int {
-	if s.group == nil {
-		return 0
+	switch {
+	case s.fleet != nil:
+		return s.fleet.Shards()
+	case s.group != nil:
+		return s.group.Shards()
 	}
-	return s.group.Shards()
+	return 0
 }
 
 // ShardsStreaming reports whether the shard pipeline streams parked
 // layer ranges from PM per batch (the over-headroom regime). Always
 // false when serving whole-model replicas.
 func (s *Server) ShardsStreaming() bool {
+	if s.fleet != nil {
+		return s.fleet.Streaming()
+	}
 	return s.group != nil && s.group.Streaming()
 }
 
@@ -668,10 +748,40 @@ func (s *Server) ShardsStreaming() bool {
 // For a coherent multi-counter snapshot (restores, stalls, prefetch
 // waits, prefetched) use Stats instead.
 func (s *Server) ShardRestores() uint64 {
-	if s.group == nil {
+	switch {
+	case s.fleet != nil:
+		return s.fleet.Restores()
+	case s.group != nil:
+		return s.group.Restores()
+	}
+	return 0
+}
+
+// FleetSize returns the number of hosts in the serving fleet, 0 when
+// not in fleet mode.
+func (s *Server) FleetSize() int {
+	if s.fleet == nil {
 		return 0
 	}
-	return s.group.Restores()
+	return s.fleet.Hosts()
+}
+
+// FleetGroups returns the number of replica groups in fleet mode, 0
+// otherwise.
+func (s *Server) FleetGroups() int {
+	if s.fleet == nil {
+		return 0
+	}
+	return s.fleet.Groups()
+}
+
+// FleetHostReports returns the per-host fleet view (EPC budget, load,
+// paging, placed shard ranges), nil when not in fleet mode.
+func (s *Server) FleetHostReports() []fleet.HostReport {
+	if s.fleet == nil {
+		return nil
+	}
+	return s.fleet.HostReports()
 }
 
 // Iteration returns the training iteration of the served model.
@@ -731,6 +841,13 @@ func (s *Server) broadcast(ctx context.Context, kind ctlKind) (int, uint64, erro
 func (s *Server) Refresh(ctx context.Context) (int, error) {
 	s.ctlMu.Lock()
 	defer s.ctlMu.Unlock()
+	if s.fleet != nil {
+		iter, err := s.groupControl(ctx, s.fleet.Refresh)
+		if err != nil {
+			return 0, err
+		}
+		return iter, nil
+	}
 	if s.group != nil {
 		iter, err := s.groupControl(ctx, s.group.Refresh)
 		if err != nil {
@@ -747,11 +864,13 @@ func (s *Server) Refresh(ctx context.Context) (int, error) {
 	return iter, nil
 }
 
-// groupControl runs one shard-group control operation (Refresh or
-// Rotate) under the server's closed check. The group quiesces its own
-// pipeline — queued requests wait, none are dropped — because the
-// shards of one model must change version together: a half-refreshed
-// pipeline would mix two versions inside a single forward pass.
+// groupControl runs one shard-group (or fleet-wide) control operation
+// — Refresh or Rotate — under the server's closed check. The group or
+// fleet quiesces its own pipeline(s) — queued requests wait, none are
+// dropped — because the shards of one model must change version
+// together: a half-refreshed pipeline would mix two versions inside a
+// single forward pass. In fleet mode the drain-and-flip covers every
+// replica group on every host at once.
 func (s *Server) groupControl(ctx context.Context, op func() (int, error)) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -766,7 +885,11 @@ func (s *Server) groupControl(ctx context.Context, op func() (int, error)) (int,
 		return 0, err
 	}
 	s.iter.Store(int64(iter))
-	s.ver.Store(s.group.Version())
+	if s.fleet != nil {
+		s.ver.Store(s.fleet.Version())
+	} else {
+		s.ver.Store(s.group.Version())
+	}
 	return iter, nil
 }
 
@@ -792,6 +915,12 @@ func (s *Server) RotateKey(ctx context.Context) (uint64, error) {
 	if _, err := s.f.RotateKey(); err != nil {
 		return 0, err
 	}
+	if s.fleet != nil {
+		if _, err := s.groupControl(ctx, s.fleet.Rotate); err != nil {
+			return 0, err
+		}
+		return s.ver.Load(), nil
+	}
 	if s.group != nil {
 		if _, err := s.groupControl(ctx, s.group.Rotate); err != nil {
 			return 0, err
@@ -814,7 +943,17 @@ func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
 	st.EPCPressure = s.host.Overcommit()
 	st.HostResidentBytes = s.host.Resident()
-	if s.group != nil {
+	switch {
+	case s.fleet != nil:
+		st.ShardRestores = s.fleet.Restores()
+		st.ShardStalls = s.fleet.Stalls()
+		st.ShardPrefetchWaits = s.fleet.PrefetchWaits()
+		st.ShardPrefetched = s.fleet.PrefetchedRestores()
+		st.FleetHosts = s.fleet.Hosts()
+		st.FleetGroups = s.fleet.Groups()
+		st.FleetHandoffs = s.fleet.HandoffTransfers()
+		st.FleetHandoffBytes = s.fleet.HandoffBytes()
+	case s.group != nil:
 		st.ShardRestores = s.group.Restores()
 		st.ShardStalls = s.group.Stalls()
 		st.ShardPrefetchWaits = s.group.PrefetchWaits()

@@ -58,6 +58,14 @@ type Stats struct {
 	ShardStalls        uint64
 	ShardPrefetchWaits uint64
 	ShardPrefetched    uint64
+	// Fleet counters, nonzero only in fleet mode: FleetHosts and
+	// FleetGroups describe the fabric (hosts, replica groups);
+	// FleetHandoffs and FleetHandoffBytes count the sealed activation
+	// hand-offs carried across attested inter-host channels.
+	FleetHosts        int
+	FleetGroups       int
+	FleetHandoffs     uint64
+	FleetHandoffBytes uint64
 }
 
 // statsCollector is the server's view onto its metrics registry. The

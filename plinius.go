@@ -49,6 +49,7 @@ import (
 	"plinius/internal/darknet"
 	"plinius/internal/distributed"
 	"plinius/internal/enclave"
+	"plinius/internal/fleet"
 	"plinius/internal/mnist"
 	"plinius/internal/obs"
 	"plinius/internal/serve"
@@ -244,6 +245,43 @@ var (
 	ErrNoServableModel  = core.ErrNoServableModel
 	ErrShardGroupClosed = core.ErrShardGroupClosed
 )
+
+// Multi-host serving fabric: one logical model served across many
+// hosts. A placement planner bin-packs the model's shard plan over the
+// fleet's EPC headrooms (recording the placement durably, so a
+// re-created fleet restores it), attested inter-host channels carry
+// sealed activations between shard stages on different hosts, and a
+// least-loaded micro-batch router spreads requests over replica
+// groups. Use it directly via NewFleet, or let a Server drive it via
+// ServerOptions.Fleet / ServerOptions.FleetAuto.
+type (
+	// Fleet serves one model across many hosts (replica groups of
+	// pipelined shard enclaves joined by attested channels).
+	Fleet = fleet.Fleet
+	// FleetOptions parameterises NewFleet.
+	FleetOptions = fleet.Options
+	// FleetPlacement is a planned placement: the shared shard plan and
+	// each replica group's per-shard host assignment.
+	FleetPlacement = fleet.Placement
+	// FleetHostReport is one fleet host's placement and load view.
+	FleetHostReport = fleet.HostReport
+)
+
+// Fleet errors re-exported for matching with errors.Is.
+var (
+	// ErrInfeasiblePlacement: the model cannot be packed onto the
+	// fleet's headrooms with every shard resident, even at the finest
+	// layer split.
+	ErrInfeasiblePlacement = fleet.ErrInfeasible
+	ErrFleetClosed         = fleet.ErrClosed
+)
+
+// NewFleet plans (or restores) a placement of f's model across the
+// fleet's hosts and builds the serving fabric over it, publishing the
+// current model first if no snapshot exists yet.
+func NewFleet(f *Framework, opts FleetOptions) (*Fleet, error) {
+	return fleet.New(f, opts)
+}
 
 // Serve publishes f's current model to PM as an immutable versioned
 // snapshot and starts an inference server over it: opts.Workers
