@@ -70,6 +70,7 @@ func main() {
 		fleetHosts = flag.Int("fleet-hosts", 0, "serve across a fleet of this many hosts: the model's shard plan is bin-packed over their EPC headrooms, with attested inter-host hand-off channels (0 disables)")
 		fleetEPC   = flag.Int("fleet-epc", 0, "per-fleet-host usable EPC in MiB (0 uses the paper's 93.5 MiB budget)")
 		maxEPC     = flag.Float64("max-epc-pressure", 0, "shed requests while the host EPC is overcommitted past this fraction (0 disables)")
+		quantized  = flag.Bool("quantized", false, "serve the int8-quantized snapshot variant: ~4x smaller sealed payloads and replica EPC footprints (whole-model replica pool only)")
 		maxBatch   = flag.Int("max-batch", 32, "micro-batch size cap")
 		maxLatency = flag.Duration("max-latency", 2*time.Millisecond, "micro-batch queue-latency cap")
 		queueDepth = flag.Int("queue-depth", 1024, "request queue bound; beyond it requests are rejected (ErrOverloaded)")
@@ -89,7 +90,7 @@ func main() {
 		*shards = plinius.ShardAuto
 	}
 	err := run(ctx, *iters, *layers, *filters, *batch, *dataset, *seed,
-		*workers, *shards, *fleetHosts, *fleetEPC, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *addr, *pprofOn, *requests, *clients)
+		*workers, *shards, *fleetHosts, *fleetEPC, *maxBatch, *maxLatency, *queueDepth, *maxEPC, *quantized, *addr, *pprofOn, *requests, *clients)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Interrupted before or during serving: the shutdown was
@@ -103,7 +104,7 @@ func main() {
 }
 
 func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed int64,
-	workers, shards, fleetHosts, fleetEPC, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, addr string, pprofOn bool, requests, clients int) error {
+	workers, shards, fleetHosts, fleetEPC, maxBatch int, maxLatency time.Duration, queueDepth int, maxEPC float64, quantized bool, addr string, pprofOn bool, requests, clients int) error {
 	f, err := plinius.New(plinius.Config{
 		ModelConfig: plinius.MNISTConfig(layers, filters, batch),
 		Seed:        seed,
@@ -140,6 +141,7 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 		QueueDepth:      queueDepth,
 		Seed:            seed,
 		MaxEPCPressure:  maxEPC,
+		Quantized:       quantized,
 	})
 	if err != nil {
 		// An infeasible placement is an operator-visible capacity
@@ -162,8 +164,8 @@ func run(ctx context.Context, iters, layers, filters, batch, dataset int, seed i
 		fmt.Printf("serving model version %d (iteration %d) pipelined across %d shard enclaves (window %d, streaming=%v, max batch %d, queue depth %d)\n",
 			srv.Version(), srv.Iteration(), srv.Shards(), srv.Workers(), srv.ShardsStreaming(), maxBatch, queueDepth)
 	} else {
-		fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (max batch %d, max queue latency %v, queue depth %d, EPC pressure %.2f)\n",
-			srv.Version(), srv.Iteration(), srv.Workers(), maxBatch, maxLatency, queueDepth, srv.EPCPressure())
+		fmt.Printf("serving model version %d (iteration %d) on %d enclave replicas (%s, max batch %d, max queue latency %v, queue depth %d, EPC pressure %.2f)\n",
+			srv.Version(), srv.Iteration(), srv.Workers(), srv.Precision(), maxBatch, maxLatency, queueDepth, srv.EPCPressure())
 	}
 
 	if addr != "" {
@@ -278,6 +280,7 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bo
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := srv.Stats()
 		stats := map[string]any{
+			"precision":            st.Precision,
 			"requests":             st.Requests,
 			"rejected":             st.Rejected,
 			"expired":              st.Expired,

@@ -147,6 +147,7 @@ type Framework struct {
 	reserved int
 	crashed  bool
 	pub      *mirror.Publication
+	pubQuant bool // publish int8 variants alongside fp32 (guarded by pmMu)
 
 	// testAbortResealAfter > 0 makes the next RotateKey abort its data
 	// reseal after that many chunks — a deterministic stand-in for a
@@ -543,10 +544,20 @@ func classifyBatch(encl *enclave.Enclave, net *darknet.Network, images []float32
 // plus the per-enclave overhead (activation/encryption buffers, code).
 // Serving uses it to size replica pools against Host.Headroom.
 func (f *Framework) ReplicaFootprint() int {
+	return f.ReplicaFootprintAt(darknet.FP32)
+}
+
+// ReplicaFootprintAt is ReplicaFootprint at an explicit serving
+// precision: an int8 replica holds the quantized parameters (~4x
+// smaller), so more replicas fit the same EPC headroom.
+func (f *Framework) ReplicaFootprintAt(prec darknet.Precision) int {
 	f.modelMu.Lock()
 	defer f.modelMu.Unlock()
 	if f.Net == nil {
 		return 0
+	}
+	if prec == darknet.Int8 {
+		return darknet.QuantParamBytes(f.Net) + f.cfg.TrainOverheadBytes
 	}
 	return f.Net.ParamBytes() + f.cfg.TrainOverheadBytes
 }

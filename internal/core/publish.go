@@ -79,6 +79,33 @@ func (f *Framework) EnsureModelCurrent() error {
 	})
 }
 
+// SetPublishQuantized toggles quantized publication: when on, every
+// subsequent Publish (and the snapshot RotateKey publishes) seals an
+// int8-quantized variant alongside the fp32 snapshot, restorable by
+// quantized replicas via Pin.OpenQuant. The flag is sticky so refresh
+// and rotation keep working end-to-end once a deployment serves int8.
+func (f *Framework) SetPublishQuantized(on bool) {
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
+	f.pubQuant = on
+}
+
+// PublishQuantized reports whether quantized publication is on.
+func (f *Framework) PublishQuantized() bool {
+	f.pmMu.Lock()
+	defer f.pmMu.Unlock()
+	return f.pubQuant
+}
+
+// publishOptsLocked returns the PublishOut options for the current
+// publication mode. Caller holds pmMu.
+func (f *Framework) publishOptsLocked() []mirror.PublishOption {
+	if f.pubQuant {
+		return []mirror.PublishOption{mirror.WithQuantized()}
+	}
+	return nil
+}
+
 // Publish seals the current enclave parameters into a new immutable
 // published version in PM and returns its version number. Publishing
 // is safe concurrently with Train: it synchronizes on the iteration
@@ -96,7 +123,7 @@ func (f *Framework) Publish() (uint64, error) {
 	}
 	var ver uint64
 	err := f.Enclave.Ecall(func() error {
-		v, err := f.pub.PublishOut(f.Engine, f.Net)
+		v, err := f.pub.PublishOut(f.Engine, f.Net, f.publishOptsLocked()...)
 		ver = v
 		return err
 	})
@@ -230,7 +257,7 @@ func (f *Framework) RotateKey() (uint64, error) {
 		if err := f.attachPublication(); err != nil {
 			return err
 		}
-		ver, err = f.pub.PublishOut(eng, f.Net)
+		ver, err = f.pub.PublishOut(eng, f.Net, f.publishOptsLocked()...)
 		if err != nil {
 			return fmt.Errorf("publish under new key: %w", err)
 		}

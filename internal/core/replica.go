@@ -40,9 +40,27 @@ type Replica struct {
 	eng     *engine.Engine
 	net     *darknet.Network
 
-	version  uint64
-	reserved int
-	closed   bool
+	version   uint64
+	reserved  int
+	closed    bool
+	quantized bool
+}
+
+// ReplicaOption configures a replica at construction.
+type ReplicaOption func(*replicaConfig)
+
+type replicaConfig struct {
+	quantized bool
+}
+
+// WithQuantizedReplica builds an int8 inference replica: the enclave
+// model is the quantized clone of the published architecture, restored
+// from the snapshot's int8 variant — ~4x smaller sealed payload and
+// EPC footprint. Creating one turns on the framework's quantized
+// publication mode (SetPublishQuantized) so refreshes keep finding the
+// variant.
+func WithQuantizedReplica() ReplicaOption {
+	return func(c *replicaConfig) { c.quantized = true }
 }
 
 // Replica errors.
@@ -103,17 +121,24 @@ func (f *Framework) provisionReplicaKey(encl *enclave.Enclave) ([]byte, error) {
 // co-located enclaves share one EPC, so every replica's working set
 // counts against the same 93.5 MB and a pool sized past the budget
 // pays the shared paging knee.
-func (f *Framework) NewReplica(seed int64) (*Replica, error) {
-	return f.NewReplicaOn(f.Host, seed)
+func (f *Framework) NewReplica(seed int64, opts ...ReplicaOption) (*Replica, error) {
+	return f.NewReplicaOn(f.Host, seed, opts...)
 }
 
 // NewReplicaOn is NewReplica with an explicit host for the replica
 // enclave — the train-here-serve-there shape, where inference replicas
 // run on a machine whose EPC the training enclave does not occupy. The
 // model still travels only through PM, sealed.
-func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64) (*Replica, error) {
+func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64, opts ...ReplicaOption) (*Replica, error) {
+	var cfg replicaConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if f.Crashed() {
 		return nil, ErrCrashedDown
+	}
+	if cfg.quantized {
+		f.SetPublishQuantized(true)
 	}
 	latest, err := f.LatestPublished()
 	if err != nil {
@@ -123,8 +148,30 @@ func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64) (*Replica, erro
 		if _, err := f.Publish(); err != nil {
 			return nil, err
 		}
+	} else if cfg.quantized {
+		// The latest version may predate quantized publication; make
+		// sure a quant variant exists before the replica restores.
+		pin, err := f.PinPublished(0)
+		if err != nil {
+			return nil, err
+		}
+		hasQuant := pin.HasQuant()
+		pin.Release()
+		if !hasQuant {
+			// Republishing overwrites the latest version with the
+			// enclave's current weights; refuse when the enclave holds
+			// nothing (e.g. a dataset-less restart serving an old
+			// publication) — superseding a real snapshot with random
+			// weights would be worse than failing.
+			if f.Iteration() == 0 {
+				return nil, fmt.Errorf("core: quantized replica: latest published version predates quantized publication and the enclave holds no trained model to republish: %w", mirror.ErrNoQuant)
+			}
+			if _, err := f.Publish(); err != nil {
+				return nil, err
+			}
+		}
 	}
-	r := &Replica{f: f}
+	r := &Replica{f: f, quantized: cfg.quantized}
 	r.Enclave = host.NewEnclave(enclave.WithSeed(seed), enclave.WithName("replica"))
 
 	key, err := f.provisionReplicaKey(r.Enclave)
@@ -139,16 +186,28 @@ func (f *Framework) NewReplicaOn(host *enclave.Host, seed int64) (*Replica, erro
 	}
 
 	// Build the replica's enclave model (random weights) and overwrite
-	// it from the pinned published snapshot.
+	// it from the pinned published snapshot. A quantized replica clones
+	// the architecture into its int8 inference form first, so only the
+	// quantized parameters are ever resident.
 	net, err := darknet.ParseConfig(strings.NewReader(f.cfg.ModelConfig),
 		mrand.New(mrand.NewSource(seed)))
 	if err != nil {
 		_ = r.Enclave.Close()
 		return nil, fmt.Errorf("core: replica model config: %w", err)
 	}
+	if cfg.quantized {
+		if net, err = darknet.QuantizeNetwork(net); err != nil {
+			_ = r.Enclave.Close()
+			return nil, fmt.Errorf("core: replica quantize: %w", err)
+		}
+	}
 	err = r.Enclave.Ecall(func() error {
 		r.net = net
-		r.reserved = net.ParamBytes() + f.cfg.TrainOverheadBytes
+		if cfg.quantized {
+			r.reserved = darknet.QuantParamBytes(net) + f.cfg.TrainOverheadBytes
+		} else {
+			r.reserved = net.ParamBytes() + f.cfg.TrainOverheadBytes
+		}
 		return r.Enclave.Reserve(r.reserved)
 	})
 	if err != nil {
@@ -198,6 +257,15 @@ func (r *Replica) Refresh() (int, error) {
 	err = r.Enclave.Ecall(func() error {
 		r.f.pmMu.Lock()
 		defer r.f.pmMu.Unlock()
+		if r.quantized {
+			qm, err := pin.OpenQuant(r.eng, mirror.WithEnclave(r.Enclave))
+			if err != nil {
+				return err
+			}
+			it, err := qm.RestoreInto(r.net)
+			iter = it
+			return err
+		}
 		m, err := pin.Open(r.eng, mirror.WithEnclave(r.Enclave))
 		if err != nil {
 			return err
@@ -237,6 +305,14 @@ func (r *Replica) Rotate() (int, error) {
 
 // Iteration returns the training iteration of the restored model.
 func (r *Replica) Iteration() int { return r.net.Iteration }
+
+// Precision returns the replica's serving parameter precision.
+func (r *Replica) Precision() darknet.Precision {
+	if r.quantized {
+		return darknet.Int8
+	}
+	return darknet.FP32
+}
 
 // Version returns the published model version the replica serves.
 func (r *Replica) Version() uint64 { return r.version }

@@ -20,9 +20,16 @@ type ConvConfig struct {
 // weights, biases, scales, rolling mean, rolling variance — so the
 // mirroring module's per-layer encryption metadata matches the paper's
 // 140 B/layer accounting even when batch norm is disabled.
-type Conv struct {
+// convGeom is the shared geometry of a convolutional layer — input
+// and output volumes plus kernel configuration — factored out so the
+// fp32 Conv and the int8 QuantConv share the im2col/col2im machinery.
+type convGeom struct {
 	in, out Shape
 	cfg     ConvConfig
+}
+
+type Conv struct {
+	convGeom
 
 	weights, biases            []float32
 	scales, rollMean, rollVar  []float32
@@ -58,9 +65,7 @@ func NewConv(in Shape, cfg ConvConfig, rng *rand.Rand) (*Conv, error) {
 	}
 	k := in.C * cfg.Size * cfg.Size
 	c := &Conv{
-		in:       in,
-		out:      Shape{C: cfg.Filters, H: outH, W: outW},
-		cfg:      cfg,
+		convGeom: convGeom{in: in, out: Shape{C: cfg.Filters, H: outH, W: outW}, cfg: cfg},
 		weights:  make([]float32, cfg.Filters*k),
 		biases:   make([]float32, cfg.Filters),
 		scales:   make([]float32, cfg.Filters),
@@ -101,55 +106,97 @@ func (c *Conv) Grads() [][]float32 {
 	return [][]float32{c.gWeights, c.gBiases, c.gScales, nil, nil}
 }
 
-func (c *Conv) kcols() int { return c.in.C * c.cfg.Size * c.cfg.Size }
+func (c *convGeom) kcols() int { return c.in.C * c.cfg.Size * c.cfg.Size }
 
 // im2col expands one input volume into a (k x outH*outW) column matrix.
-func (c *Conv) im2col(x []float32, cols []float32) {
+func (c *convGeom) im2col(x []float32, cols []float32) {
+	for ch := 0; ch < c.in.C; ch++ {
+		c.im2colChannel(x, cols, ch)
+	}
+}
+
+// im2colChannel expands a single input channel into its size*size rows
+// of the column matrix. Different channels write disjoint `cols` rows
+// and only read `x`, so channels can run concurrently with results
+// identical to the serial loop.
+func (c *convGeom) im2colChannel(x []float32, cols []float32, ch int) {
 	size, stride, pad := c.cfg.Size, c.cfg.Stride, c.cfg.Pad
 	outHW := c.out.H * c.out.W
-	for ch := 0; ch < c.in.C; ch++ {
-		chBase := ch * c.in.H * c.in.W
-		for ky := 0; ky < size; ky++ {
-			for kx := 0; kx < size; kx++ {
-				row := ((ch*size+ky)*size + kx) * outHW
-				for oy := 0; oy < c.out.H; oy++ {
-					iy := oy*stride + ky - pad
-					for ox := 0; ox < c.out.W; ox++ {
-						ix := ox*stride + kx - pad
-						var v float32
-						if iy >= 0 && iy < c.in.H && ix >= 0 && ix < c.in.W {
-							v = x[chBase+iy*c.in.W+ix]
-						}
-						cols[row+oy*c.out.W+ox] = v
+	chBase := ch * c.in.H * c.in.W
+	for ky := 0; ky < size; ky++ {
+		for kx := 0; kx < size; kx++ {
+			row := ((ch*size+ky)*size + kx) * outHW
+			for oy := 0; oy < c.out.H; oy++ {
+				iy := oy*stride + ky - pad
+				for ox := 0; ox < c.out.W; ox++ {
+					ix := ox*stride + kx - pad
+					var v float32
+					if iy >= 0 && iy < c.in.H && ix >= 0 && ix < c.in.W {
+						v = x[chBase+iy*c.in.W+ix]
 					}
+					cols[row+oy*c.out.W+ox] = v
 				}
 			}
 		}
 	}
 }
 
+// im2colParallelWork is the per-chunk write volume (floats) below
+// which parallel im2col/col2im chunks are not worth a goroutine.
+const im2colParallelWork = 1 << 14
+
+// im2colChunk returns the minimum channels per parallel chunk so each
+// chunk writes at least im2colParallelWork floats.
+func (c *convGeom) im2colChunk() int {
+	perCh := c.cfg.Size * c.cfg.Size * c.out.H * c.out.W
+	if perCh <= 0 {
+		return 1
+	}
+	chunk := im2colParallelWork / perCh
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
 // col2im scatters a column-matrix gradient back into an input-volume
-// gradient (accumulating).
-func (c *Conv) col2im(cols []float32, dx []float32) {
+// gradient (accumulating). Channels are fanned across the kernel
+// worker pool: each channel's column rows scatter into that channel's
+// disjoint dx region, and within a channel the accumulation order is
+// the serial one, so the result is bit-identical to the serial loop.
+func (c *convGeom) col2im(cols []float32, dx []float32) {
+	if ScalarKernels() || c.in.C == 1 {
+		for ch := 0; ch < c.in.C; ch++ {
+			c.col2imChannel(cols, dx, ch)
+		}
+		return
+	}
+	parallelFor(c.in.C, c.im2colChunk(), func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			c.col2imChannel(cols, dx, ch)
+		}
+	})
+}
+
+// col2imChannel scatters one channel's column rows into its dx region.
+func (c *convGeom) col2imChannel(cols []float32, dx []float32, ch int) {
 	size, stride, pad := c.cfg.Size, c.cfg.Stride, c.cfg.Pad
 	outHW := c.out.H * c.out.W
-	for ch := 0; ch < c.in.C; ch++ {
-		chBase := ch * c.in.H * c.in.W
-		for ky := 0; ky < size; ky++ {
-			for kx := 0; kx < size; kx++ {
-				row := ((ch*size+ky)*size + kx) * outHW
-				for oy := 0; oy < c.out.H; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= c.in.H {
+	chBase := ch * c.in.H * c.in.W
+	for ky := 0; ky < size; ky++ {
+		for kx := 0; kx < size; kx++ {
+			row := ((ch*size+ky)*size + kx) * outHW
+			for oy := 0; oy < c.out.H; oy++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= c.in.H {
+					continue
+				}
+				for ox := 0; ox < c.out.W; ox++ {
+					ix := ox*stride + kx - pad
+					if ix < 0 || ix >= c.in.W {
 						continue
 					}
-					for ox := 0; ox < c.out.W; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= c.in.W {
-							continue
-						}
-						dx[chBase+iy*c.in.W+ix] += cols[row+oy*c.out.W+ox]
-					}
+					dx[chBase+iy*c.in.W+ix] += cols[row+oy*c.out.W+ox]
 				}
 			}
 		}
@@ -169,10 +216,29 @@ func (c *Conv) Forward(x []float32, batch int, train bool) ([]float32, error) {
 	}
 	c.lastCols = c.lastCols[:batch*k*outHW]
 	out := scratchF32(&c.outBuf, batch*outSize)
-	for b := 0; b < batch; b++ {
-		cols := c.lastCols[b*k*outHW : (b+1)*k*outHW]
-		c.im2col(x[b*c.in.Size():(b+1)*c.in.Size()], cols)
-		gemm(c.cfg.Filters, k, outHW, c.weights, cols, out[b*outSize:(b+1)*outSize])
+	inSize := c.in.Size()
+	colSize := k * outHW
+	if !ScalarKernels() && batch*c.in.C > 1 {
+		// Expand every sample's column matrix first, fanned over
+		// (sample, channel) pairs: the writes are disjoint, so this is
+		// exactly the serial expansion, and convolution setup no longer
+		// serializes ahead of the parallel GEMM below.
+		parallelFor(batch*c.in.C, c.im2colChunk(), func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				b, ch := idx/c.in.C, idx%c.in.C
+				c.im2colChannel(x[b*inSize:(b+1)*inSize], c.lastCols[b*colSize:(b+1)*colSize], ch)
+			}
+		})
+		for b := 0; b < batch; b++ {
+			gemm(c.cfg.Filters, k, outHW, c.weights,
+				c.lastCols[b*colSize:(b+1)*colSize], out[b*outSize:(b+1)*outSize])
+		}
+	} else {
+		for b := 0; b < batch; b++ {
+			cols := c.lastCols[b*colSize : (b+1)*colSize]
+			c.im2col(x[b*inSize:(b+1)*inSize], cols)
+			gemm(c.cfg.Filters, k, outHW, c.weights, cols, out[b*outSize:(b+1)*outSize])
+		}
 	}
 	c.lastX = x
 	c.lastBatch = batch

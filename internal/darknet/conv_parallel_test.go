@@ -1,0 +1,143 @@
+package darknet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// convTestGeoms covers multi-channel inputs (the parallel gate), odd
+// sizes, stride > 1 and zero padding.
+var convTestGeoms = []struct {
+	in  Shape
+	cfg ConvConfig
+}{
+	{Shape{C: 1, H: 8, W: 8}, ConvConfig{Filters: 3, Size: 3, Stride: 1, Pad: 1}},
+	{Shape{C: 4, H: 9, W: 7}, ConvConfig{Filters: 5, Size: 3, Stride: 1, Pad: 1}},
+	{Shape{C: 8, H: 12, W: 12}, ConvConfig{Filters: 4, Size: 5, Stride: 2, Pad: 2}},
+	{Shape{C: 3, H: 6, W: 6}, ConvConfig{Filters: 2, Size: 2, Stride: 2, Pad: 0}},
+}
+
+// TestIm2colParallelMatchesSerial expands the same input with the
+// serial channel loop and with the parallel (sample, channel) fan-out
+// Conv.Forward uses, requiring bit-identical column matrices: the
+// chunks write disjoint rows and only read x, so any difference is a
+// partitioning bug.
+func TestIm2colParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	withKernelConfigs(t, func(t *testing.T) {
+		for _, g := range convTestGeoms {
+			c, err := NewConv(g.in, g.cfg, rng)
+			if err != nil {
+				t.Fatalf("conv %+v: %v", g, err)
+			}
+			batch := 3
+			inSize := c.in.Size()
+			colSize := c.kcols() * c.out.H * c.out.W
+			x := make([]float32, batch*inSize)
+			fillRandSparse(rng, x)
+
+			serial := make([]float32, batch*colSize)
+			for b := 0; b < batch; b++ {
+				c.im2col(x[b*inSize:(b+1)*inSize], serial[b*colSize:(b+1)*colSize])
+			}
+			parallel := make([]float32, batch*colSize)
+			parallelFor(batch*c.in.C, c.im2colChunk(), func(lo, hi int) {
+				for idx := lo; idx < hi; idx++ {
+					b, ch := idx/c.in.C, idx%c.in.C
+					c.im2colChannel(x[b*inSize:(b+1)*inSize], parallel[b*colSize:(b+1)*colSize], ch)
+				}
+			})
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("geom %+v cols[%d]: serial %v parallel %v", g, i, serial[i], parallel[i])
+				}
+			}
+		}
+	})
+}
+
+// TestCol2imParallelMatchesSerial scatters the same column gradient
+// back with the serial loop and the channel-parallel col2im, requiring
+// bit-identical dx: channels accumulate into disjoint regions in the
+// serial per-channel order.
+func TestCol2imParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	withKernelConfigs(t, func(t *testing.T) {
+		for _, g := range convTestGeoms {
+			c, err := NewConv(g.in, g.cfg, rng)
+			if err != nil {
+				t.Fatalf("conv %+v: %v", g, err)
+			}
+			colSize := c.kcols() * c.out.H * c.out.W
+			cols := make([]float32, colSize)
+			fillRandSparse(rng, cols)
+			// Non-zero initial dx: col2im accumulates.
+			init := make([]float32, c.in.Size())
+			fillRandSparse(rng, init)
+
+			serial := append([]float32(nil), init...)
+			SetScalarKernels(true)
+			c.col2im(cols, serial)
+			SetScalarKernels(false)
+			parallel := append([]float32(nil), init...)
+			c.col2im(cols, parallel)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("geom %+v dx[%d]: serial %v parallel %v", g, i, serial[i], parallel[i])
+				}
+			}
+		}
+	})
+}
+
+// TestConvForwardBackwardBitIdenticalScalarVsParallel runs a
+// multi-channel conv layer end to end — forward then backward — under
+// the scalar reference and the parallel kernels (which also flips the
+// parallel im2col/col2im paths) and requires bit-identical outputs,
+// input gradients and weight gradients.
+func TestConvForwardBackwardBitIdenticalScalarVsParallel(t *testing.T) {
+	for _, g := range convTestGeoms {
+		run := func(scalar bool) (out, dx, gw []float32) {
+			SetScalarKernels(scalar)
+			defer SetScalarKernels(false)
+			rng := rand.New(rand.NewSource(73))
+			c, err := NewConv(g.in, g.cfg, rng)
+			if err != nil {
+				t.Fatalf("conv %+v: %v", g, err)
+			}
+			batch := 4
+			data := rand.New(rand.NewSource(74))
+			x := make([]float32, batch*c.in.Size())
+			fillRandSparse(data, x)
+			o, err := c.Forward(x, batch, true)
+			if err != nil {
+				t.Fatalf("forward: %v", err)
+			}
+			delta := make([]float32, batch*c.out.Size())
+			fillRandSparse(data, delta)
+			d, err := c.Backward(delta)
+			if err != nil {
+				t.Fatalf("backward: %v", err)
+			}
+			return append([]float32(nil), o...), append([]float32(nil), d...),
+				append([]float32(nil), c.gWeights...)
+		}
+		outS, dxS, gwS := run(true)
+		outP, dxP, gwP := run(false)
+		for i := range outS {
+			if outS[i] != outP[i] {
+				t.Fatalf("geom %+v out[%d]: scalar %v parallel %v", g, i, outS[i], outP[i])
+			}
+		}
+		for i := range dxS {
+			if dxS[i] != dxP[i] {
+				t.Fatalf("geom %+v dx[%d]: scalar %v parallel %v", g, i, dxS[i], dxP[i])
+			}
+		}
+		for i := range gwS {
+			if gwS[i] != gwP[i] {
+				t.Fatalf("geom %+v gW[%d]: scalar %v parallel %v", g, i, gwS[i], gwP[i])
+			}
+		}
+	}
+}

@@ -205,6 +205,7 @@ func gemm(m, k, n int, a, b, c []float32) {
 		gemmScalar(m, k, n, a, b, c)
 		return
 	}
+	mGemmBlocked.Inc()
 	if m*k*n < gemmParallelFlops {
 		gemmRows(k, n, a, b, c, 0, m)
 		return
@@ -220,6 +221,7 @@ func gemmTA(m, k, n int, a, b, c []float32) {
 		gemmTAScalar(m, k, n, a, b, c)
 		return
 	}
+	mGemmBlocked.Inc()
 	if m*k*n < gemmParallelFlops {
 		gemmTARows(m, k, n, a, b, c, 0, m)
 		return
@@ -235,6 +237,7 @@ func gemmTB(m, k, n int, a, b, c []float32) {
 		gemmTBScalar(m, k, n, a, b, c)
 		return
 	}
+	mGemmBlocked.Inc()
 	if m*k*n < gemmParallelFlops {
 		gemmTBRows(k, n, a, b, c, 0, m)
 		return

@@ -1,0 +1,75 @@
+package darknet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the three GEMM kernels over the shapes the
+// MNIST-scale network actually runs, single-threaded so the numbers
+// measure kernel quality rather than pool scheduling.
+var benchShapes = []struct{ m, k, n int }{
+	{16, 9, 784},   // conv1 forward (per sample)
+	{32, 144, 196}, // conv2 forward (per sample)
+	{32, 1568, 64}, // connected forward (whole batch)
+	{32, 64, 1568}, // connected backward dx
+	{64, 300, 257}, // odd shape crossing block boundaries
+}
+
+// fillRandDense fills v with nonzero random values: trained weights
+// and activations are dense, so dense operands are the representative
+// speed case (the sparse zero-skip path is covered by the correctness
+// tests, which use fillRandSparse).
+func fillRandDense(rng *rand.Rand, v []float32) {
+	for i := range v {
+		v[i] = rng.Float32() + 0.1
+	}
+}
+
+func benchKernel(b *testing.B, run func(m, k, n int, a, bb, c []float32)) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range benchShapes {
+		a := make([]float32, s.m*s.k+s.k*s.m)
+		bb := make([]float32, s.k*s.n+s.n*s.k)
+		c := make([]float32, s.m*s.n)
+		fillRandDense(rng, a)
+		fillRandDense(rng, bb)
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			b.SetBytes(int64(2 * s.m * s.k * s.n)) // multiply-adds as "bytes" => MB/s ~ Mflop/s
+			for i := 0; i < b.N; i++ {
+				run(s.m, s.k, s.n, a, bb, c)
+			}
+		})
+	}
+}
+
+func BenchmarkGEMM(b *testing.B) {
+	defer SetKernelParallelism(0)
+	SetKernelParallelism(1)
+	benchKernel(b, func(m, k, n int, a, bb, c []float32) { gemmRows(k, n, a, bb, c, 0, m) })
+}
+
+func BenchmarkGEMMScalar(b *testing.B) {
+	benchKernel(b, gemmScalar)
+}
+
+func BenchmarkGEMMTA(b *testing.B) {
+	defer SetKernelParallelism(0)
+	SetKernelParallelism(1)
+	benchKernel(b, func(m, k, n int, a, bb, c []float32) { gemmTARows(m, k, n, a, bb, c, 0, m) })
+}
+
+func BenchmarkGEMMTAScalar(b *testing.B) {
+	benchKernel(b, gemmTAScalar)
+}
+
+func BenchmarkGEMMTB(b *testing.B) {
+	defer SetKernelParallelism(0)
+	SetKernelParallelism(1)
+	benchKernel(b, func(m, k, n int, a, bb, c []float32) { gemmTBRows(k, n, a, bb, c, 0, m) })
+}
+
+func BenchmarkGEMMTBScalar(b *testing.B) {
+	benchKernel(b, gemmTBScalar)
+}

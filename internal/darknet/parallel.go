@@ -3,9 +3,12 @@ package darknet
 // Multi-core GEMM kernels. The three matrix-multiply shapes behind
 // every Forward/Backward (gemm, gemmTA, gemmTB in darknet.go) dispatch
 // here: rows of the output are sharded in contiguous chunks across a
-// bounded worker pool via parallelFor, and the inner loops are blocked
-// over the output columns so the written row segment stays cache-hot
-// while the B operand streams through.
+// bounded worker pool via parallelFor, and within each chunk the inner
+// loops run 2x4 register-blocked micro-kernels — 8 output elements
+// held in registers across the whole inner-product sweep, A panels
+// packed into an interleaved stream where the access pattern is
+// strided, and cache blocking over the output columns so the B strip
+// stays hot.
 //
 // The blocked kernels are bit-identical to the scalar reference
 // kernels: each output element receives exactly the same additions in
@@ -19,7 +22,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"plinius/internal/obs"
 )
+
+// mGemmBlocked counts dispatches onto the register-blocked kernels
+// (the non-scalar path), so deployments can verify the fast kernels
+// are actually in play.
+var mGemmBlocked = obs.Default().Counter("darknet_gemm_blocked_total",
+	"GEMM dispatches onto the register-blocked (non-scalar) kernels.")
 
 // kernelWorkers is the configured kernel parallelism; 0 means "use
 // GOMAXPROCS at call time". It is always clamped to GOMAXPROCS, since
@@ -107,25 +118,148 @@ func parallelFor(n, minChunk int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// packPool recycles the per-call A-panel packing buffers so the hot
+// serve/train paths stay allocation-free.
+var packPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// packPanel2 interleaves two consecutive A rows (row-major, stride k)
+// into pk so the micro-kernel reads one sequential stream:
+// pk[p*2+ii] = a[(i+ii)*k+p]. Pure data movement — bit-identity of the
+// kernels is unaffected.
+func packPanel2(k int, a []float32, i int, pk []float32) {
+	r0 := a[i*k : i*k+k]
+	r1 := a[(i+1)*k : (i+1)*k+k]
+	for p := 0; p < k; p++ {
+		pk[2*p] = r0[p]
+		pk[2*p+1] = r1[p]
+	}
+}
+
+// The kernels below are shaped by two facts about the Go compiler on
+// amd64: float32 multiply-add is two uops (no FMA fusion) so every
+// kernel is fp-port bound near one madd/cycle, and only 16 float
+// registers exist, so wide accumulator tiles (4x4 = 16 accumulators +
+// 8 temps) spill to the stack and run slower than the naive loops.
+// gemm/gemmTA therefore fuse two output rows over one streamed B row
+// (halving B loads; C rows stream through L1), while gemmTB — whose
+// scalar form is latency-bound on a single accumulator chain — uses a
+// 2x4 register tile of 8 independent dot-product accumulators.
+
 // gemmRows computes rows [lo, hi) of C += A * B (row-major A m x k,
-// B k x n, C m x n), blocked over the output columns. Per output
-// element the additions run in ascending p with the same zero-skip as
-// the scalar reference, so the result is bit-identical to gemmScalar.
+// B k x n, C m x n). Row pairs are packed into an interleaved panel
+// and fused over a single sweep of each B row, blocked over the output
+// columns so the written C segments stay in L1 while B streams.
+//
+// Bit-identity with gemmScalar: per output element the additions still
+// run in ascending p with the same per-row zero-skip (the fused loop
+// runs only when both rows are nonzero at p; otherwise the single
+// live row takes the reference loop) — fusing interleaves additions to
+// *different* elements only, which cannot change any element's value.
 func gemmRows(k, n int, a, b, c []float32, lo, hi int) {
-	for jb := 0; jb < n; jb += gemmBlockJ {
-		je := jb + gemmBlockJ
-		if je > n {
-			je = n
-		}
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : i*k+k]
-			crow := c[i*n+jb : i*n+je]
+	bp := packPool.Get().(*[]float32)
+	if cap(*bp) < 2*k {
+		*bp = make([]float32, 2*k)
+	}
+	pk := (*bp)[:2*k]
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		packPanel2(k, a, i, pk)
+		row0 := c[(i+0)*n : (i+0)*n+n]
+		row1 := c[(i+1)*n : (i+1)*n+n]
+		for jb := 0; jb < n; jb += gemmBlockJ {
+			je := jb + gemmBlockJ
+			if je > n {
+				je = n
+			}
+			cr0 := row0[jb:je]
+			cr1 := row1[jb:je]
 			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
+				q := pk[2*p : 2*p+2]
+				a0, a1 := q[0], q[1]
+				if a0 == 0 && a1 == 0 {
 					continue
 				}
 				brow := b[p*n+jb : p*n+je]
+				switch {
+				case a0 != 0 && a1 != 0:
+					for j, bv := range brow {
+						cr0[j] += a0 * bv
+						cr1[j] += a1 * bv
+					}
+				case a0 != 0:
+					for j, bv := range brow {
+						cr0[j] += a0 * bv
+					}
+				default:
+					for j, bv := range brow {
+						cr1[j] += a1 * bv
+					}
+				}
+			}
+		}
+	}
+	packPool.Put(bp)
+	// Row tail: the scalar reference loop.
+	for ; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gemmTARows computes rows [lo, hi) of C += Aᵀ * B (A k x m, B k x n,
+// C m x n), fusing two output rows over one streamed B row exactly
+// like gemmRows; no packing is needed because a[p*m+i..i+2] is already
+// contiguous at fixed p. Per output element the additions run in
+// ascending p with the scalar reference's zero-skip.
+func gemmTARows(m, k, n int, a, b, c []float32, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		cr0 := c[(i+0)*n : (i+0)*n+n]
+		cr1 := c[(i+1)*n : (i+1)*n+n]
+		for p := 0; p < k; p++ {
+			aa := a[p*m+i : p*m+i+2]
+			a0, a1 := aa[0], aa[1]
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			switch {
+			case a0 != 0 && a1 != 0:
+				for j, bv := range brow {
+					cr0[j] += a0 * bv
+					cr1[j] += a1 * bv
+				}
+			case a0 != 0:
+				for j, bv := range brow {
+					cr0[j] += a0 * bv
+				}
+			default:
+				for j, bv := range brow {
+					cr1[j] += a1 * bv
+				}
+			}
+		}
+	}
+	// Row tail: p-outer reference order over the remaining rows.
+	if i < hi {
+		for p := 0; p < k; p++ {
+			arow := a[p*m+i : p*m+hi]
+			brow := b[p*n : p*n+n]
+			for ii, av := range arow {
+				if av == 0 {
+					continue
+				}
+				crow := c[(i+ii)*n : (i+ii)*n+n]
 				for j, bv := range brow {
 					crow[j] += av * bv
 				}
@@ -134,33 +268,61 @@ func gemmRows(k, n int, a, b, c []float32, lo, hi int) {
 	}
 }
 
-// gemmTARows computes rows [lo, hi) of C += Aᵀ * B (A k x m, B k x n,
-// C m x n). The p loop stays outermost — A's rows are read
-// contiguously, sliced to the worker's column range — and per output
-// element the additions run in ascending p exactly like the scalar
-// reference.
-func gemmTARows(m, k, n int, a, b, c []float32, lo, hi int) {
-	for p := 0; p < k; p++ {
-		arow := a[p*m+lo : p*m+hi]
-		brow := b[p*n : p*n+n]
-		for ii, av := range arow {
-			if av == 0 {
-				continue
+// gemmTBRows computes rows [lo, hi) of C += A * Bᵀ (A m x k, B n x k,
+// C m x n) with 2x4 register tiles of dot products: 8 accumulators
+// start at zero, sweep p in ascending order, and each is added to its
+// C element exactly once at the end — the scalar reference order per
+// element. Both operands are read as contiguous rows, so no packing is
+// needed.
+func gemmTBRows(k, n int, a, b, c []float32, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		ar0 := a[(i+0)*k : (i+0)*k+k]
+		ar1 := a[(i+1)*k : (i+1)*k+k]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			br0 := b[(j+0)*k : (j+0)*k+k]
+			br1 := b[(j+1)*k : (j+1)*k+k]
+			br2 := b[(j+2)*k : (j+2)*k+k]
+			br3 := b[(j+3)*k : (j+3)*k+k]
+			var s00, s01, s02, s03 float32
+			var s10, s11, s12, s13 float32
+			for p := 0; p < k; p++ {
+				a0, a1 := ar0[p], ar1[p]
+				b0, b1, b2, b3 := br0[p], br1[p], br2[p], br3[p]
+				s00 += a0 * b0
+				s01 += a0 * b1
+				s02 += a0 * b2
+				s03 += a0 * b3
+				s10 += a1 * b0
+				s11 += a1 * b1
+				s12 += a1 * b2
+				s13 += a1 * b3
 			}
-			crow := c[(lo+ii)*n : (lo+ii)*n+n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			o0, o1 := (i+0)*n+j, (i+1)*n+j
+			c[o0] += s00
+			c[o0+1] += s01
+			c[o0+2] += s02
+			c[o0+3] += s03
+			c[o1] += s10
+			c[o1+1] += s11
+			c[o1+2] += s12
+			c[o1+3] += s13
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s0, s1 float32
+			for p := 0; p < k; p++ {
+				bv := brow[p]
+				s0 += ar0[p] * bv
+				s1 += ar1[p] * bv
 			}
+			c[(i+0)*n+j] += s0
+			c[(i+1)*n+j] += s1
 		}
 	}
-}
-
-// gemmTBRows computes rows [lo, hi) of C += A * Bᵀ (A m x k, B n x k,
-// C m x n). Each output element is one dot product accumulated in a
-// register in ascending p and added to C once — the scalar reference
-// order.
-func gemmTBRows(k, n int, a, b, c []float32, lo, hi int) {
-	for i := lo; i < hi; i++ {
+	// Row tail: the scalar reference loop.
+	for ; i < hi; i++ {
 		arow := a[i*k : i*k+k]
 		crow := c[i*n : i*n+n]
 		for j := 0; j < n; j++ {

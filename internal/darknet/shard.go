@@ -67,11 +67,27 @@ func (n *Network) ForwardRange(x []float32, batch int, r ShardRange, train bool)
 	return sub.Forward(x, batch, train)
 }
 
-// layerParamBytes returns one layer's parameter footprint in bytes.
-func layerParamBytes(l Layer) int {
+// layerParamBytes returns one layer's parameter footprint in bytes at
+// the given serving precision. At Int8 the weight matrix (buffer 0 of
+// a trainable layer, or the QuantWeights of an already-quantized one)
+// counts one byte per element plus the scale/zero-point header; the
+// small fp32 vectors keep four bytes per element. Layers without
+// parameters are free at either precision.
+func layerParamBytes(l Layer, prec Precision) int {
 	total := 0
-	for _, p := range l.Params() {
-		total += 4 * len(p)
+	if ql, ok := l.(QuantWeightLayer); ok {
+		total = len(ql.QuantWeights()) + QuantHeaderBytes
+		for _, p := range l.Params() {
+			total += 4 * len(p)
+		}
+		return total
+	}
+	for bi, p := range l.Params() {
+		if prec == Int8 && bi == 0 {
+			total += len(p) + QuantHeaderBytes
+		} else {
+			total += 4 * len(p)
+		}
 	}
 	return total
 }
@@ -82,6 +98,14 @@ func layerParamBytes(l Layer) int {
 // shard enclave reserves while hot, and what PlanShards packs against
 // its byte bound.
 func (n *Network) ShardFootprint(r ShardRange, batch int) (int, error) {
+	return n.ShardFootprintAt(r, batch, FP32)
+}
+
+// ShardFootprintAt is ShardFootprint at an explicit serving precision:
+// at Int8 the parameter term shrinks to the quantized snapshot size
+// (activations stay fp32 — the int8 forward path dequantizes on
+// accumulate into fp32 activations).
+func (n *Network) ShardFootprintAt(r ShardRange, batch int, prec Precision) (int, error) {
 	if err := n.checkRange(r); err != nil {
 		return 0, err
 	}
@@ -90,7 +114,7 @@ func (n *Network) ShardFootprint(r ShardRange, batch int) (int, error) {
 	}
 	total := 4 * batch * n.Layers[r.From].InShape().Size()
 	for _, l := range n.Layers[r.From:r.To] {
-		total += layerParamBytes(l) + 4*batch*l.OutShape().Size()
+		total += layerParamBytes(l, prec) + 4*batch*l.OutShape().Size()
 	}
 	return total, nil
 }
@@ -117,6 +141,14 @@ func (n *Network) ParamLayersBefore(i int) int {
 // gets a shard of its own — layers are the granularity of the split —
 // so every plan covers all layers even when the bound is unreachable.
 func (n *Network) PlanShards(maxBytes, batch int) ([]ShardRange, error) {
+	return n.PlanShardsAt(maxBytes, batch, FP32)
+}
+
+// PlanShardsAt is PlanShards against ShardFootprintAt at an explicit
+// serving precision: at Int8 the smaller parameter footprints let more
+// layers pack into each shard, so models that needed several shard
+// enclaves at fp32 may fit one.
+func (n *Network) PlanShardsAt(maxBytes, batch int, prec Precision) ([]ShardRange, error) {
 	if len(n.Layers) == 0 {
 		return nil, ErrEmptyNetwork
 	}
@@ -128,7 +160,7 @@ func (n *Network) PlanShards(maxBytes, batch int) ([]ShardRange, error) {
 	for from < len(n.Layers) {
 		to := from + 1
 		for to < len(n.Layers) {
-			fp, err := n.ShardFootprint(ShardRange{From: from, To: to + 1}, batch)
+			fp, err := n.ShardFootprintAt(ShardRange{From: from, To: to + 1}, batch, prec)
 			if err != nil {
 				return nil, err
 			}

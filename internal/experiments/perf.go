@@ -32,6 +32,12 @@ import (
 //     clock) with the fan-out seal pipeline.
 //   - sharded serving: per-batch latency quantiles and pipeline stalls
 //     with double-buffered restore off and on.
+//
+// The PR 8 rung adds the quantized serving path: a CNN is trained
+// fp32, published with the int8 snapshot variant, and the section
+// reports the sealed-payload ratio (quantized vs fp32, expected well
+// under 30%) plus the eval-accuracy delta between the fp32 model and
+// its int8 inference clone (expected within 1%).
 
 // PerfResult is the -exp perf snapshot, shaped for JSON.
 type PerfResult struct {
@@ -56,6 +62,15 @@ type PerfResult struct {
 	ShardPrefetched     uint64  `json:"shard_prefetched_restores"`
 	ShardWallMsNoPf     float64 `json:"shard_wall_ms_noprefetch"`
 	ShardWallMsPrefetch float64 `json:"shard_wall_ms_prefetch"`
+
+	QuantTrainIters    int     `json:"quant_train_iters"`
+	QuantEvalSamples   int     `json:"quant_eval_samples"`
+	FP32Accuracy       float64 `json:"fp32_accuracy"`
+	Int8Accuracy       float64 `json:"int8_accuracy"`
+	QuantAccuracyDelta float64 `json:"quant_accuracy_delta"`
+	FP32SealedBytes    int     `json:"fp32_sealed_bytes"`
+	QuantSealedBytes   int     `json:"quant_sealed_bytes"`
+	QuantPayloadRatio  float64 `json:"quant_payload_ratio"`
 
 	// Metrics is the flattened obs-registry snapshot at the end of the
 	// run — the process-wide layer counters (enclave, engine, pm,
@@ -83,6 +98,9 @@ func RunPerf(cfg PerfConfig) (PerfResult, error) {
 	}
 	if err := perfSeal(cfg, &res); err != nil {
 		return res, fmt.Errorf("perf seal: %w", err)
+	}
+	if err := perfQuant(cfg, &res); err != nil {
+		return res, fmt.Errorf("perf quant: %w", err)
 	}
 	if err := perfShard(cfg, &res); err != nil {
 		return res, fmt.Errorf("perf shard: %w", err)
@@ -154,6 +172,118 @@ func perfKernels(cfg PerfConfig, res *PerfResult) error {
 	if res.ScalarItersPerSec > 0 {
 		res.KernelSpeedup = res.ParallelItersPerSec / res.ScalarItersPerSec
 	}
+	return nil
+}
+
+// perfQuant measures the quantized publication/serving path end to
+// end: a CNN trained fp32 on synthetic digits is published with the
+// int8 snapshot variant onto raw PM, both variants are opened from the
+// pinned version, and the quantized clone is restored from its sealed
+// payload before evaluation — so the reported int8 accuracy is that of
+// the exact bytes a quantized replica would serve.
+func perfQuant(cfg PerfConfig, res *PerfResult) error {
+	iters, evalN := 60, 256
+	if cfg.Quick {
+		iters, evalN = 12, 128
+	}
+	batch := 32
+	full := mnist.Synthetic(batch*iters+evalN, cfg.Seed+7)
+	train, test, err := full.Split(batch * iters)
+	if err != nil {
+		return err
+	}
+	net, err := perfTrainNet(cfg)
+	if err != nil {
+		return err
+	}
+	in := net.InputSize()
+	y := make([]float32, batch*mnist.Classes)
+	for i := 0; i < iters; i++ {
+		for j := range y {
+			y[j] = 0
+		}
+		for b := 0; b < batch; b++ {
+			y[b*mnist.Classes+train.Labels[i*batch+b]] = 1
+		}
+		if _, err := net.TrainBatch(train.Images[i*batch*in:(i+1)*batch*in], y, batch); err != nil {
+			return err
+		}
+	}
+	qnet, err := darknet.QuantizeNetwork(net)
+	if err != nil {
+		return err
+	}
+
+	// Publish both variants onto raw PM and restore the quantized clone
+	// from its sealed payload.
+	dev, err := pm.New(32 << 20)
+	if err != nil {
+		return err
+	}
+	rom, err := romulus.Open(dev)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New([]byte("0123456789abcdef"), engine.WithRand(rand.Reader))
+	if err != nil {
+		return err
+	}
+	pub, err := mirror.OpenPublication(rom)
+	if err != nil {
+		return err
+	}
+	if _, err := pub.PublishOut(eng, net, mirror.WithQuantized()); err != nil {
+		return err
+	}
+	pin, err := pub.Pin(0)
+	if err != nil {
+		return err
+	}
+	defer pin.Release()
+	m, err := pin.Open(eng)
+	if err != nil {
+		return err
+	}
+	qm, err := pin.OpenQuant(eng)
+	if err != nil {
+		return err
+	}
+	if _, err := qm.RestoreInto(qnet); err != nil {
+		return err
+	}
+	res.FP32SealedBytes = m.SealedBytes()
+	res.QuantSealedBytes = qm.SealedBytes()
+	if res.FP32SealedBytes > 0 {
+		res.QuantPayloadRatio = float64(res.QuantSealedBytes) / float64(res.FP32SealedBytes)
+	}
+
+	eval := func(n *darknet.Network) (float64, error) {
+		correct := 0
+		for lo := 0; lo < test.N; lo += batch {
+			sz := batch
+			if lo+sz > test.N {
+				sz = test.N - lo
+			}
+			classes, err := n.ClassifyBatch(test.Images[lo*in:(lo+sz)*in], sz)
+			if err != nil {
+				return 0, err
+			}
+			for k, c := range classes {
+				if c == test.Labels[lo+k] {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(test.N), nil
+	}
+	if res.FP32Accuracy, err = eval(net); err != nil {
+		return err
+	}
+	if res.Int8Accuracy, err = eval(qnet); err != nil {
+		return err
+	}
+	res.QuantAccuracyDelta = res.FP32Accuracy - res.Int8Accuracy
+	res.QuantTrainIters, res.QuantEvalSamples = iters, test.N
 	return nil
 }
 
@@ -295,5 +425,9 @@ func (r PerfResult) Print(w io.Writer) {
 		r.ShardBatches, r.ShardP95NoPrefetch, r.ShardP95Prefetch)
 	fmt.Fprintf(tw, "shard\tstalls\t%d\t%d\t%d prefetched\n",
 		r.ShardStallsNoPf, r.ShardStallsPf, r.ShardPrefetched)
+	fmt.Fprintf(tw, "quant\tsealed bytes\t%d\t%d\t%.1f%% of fp32\n",
+		r.FP32SealedBytes, r.QuantSealedBytes, 100*r.QuantPayloadRatio)
+	fmt.Fprintf(tw, "quant\taccuracy (%d eval)\t%.2f%%\t%.2f%%\t%+.2f pts\n",
+		r.QuantEvalSamples, 100*r.FP32Accuracy, 100*r.Int8Accuracy, -100*r.QuantAccuracyDelta)
 	tw.Flush()
 }

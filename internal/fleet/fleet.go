@@ -272,7 +272,7 @@ func persistedPlacement(f *core.Framework, net *darknet.Network, headrooms []int
 	if err != nil || len(entries) == 0 {
 		return Placement{}, false
 	}
-	fps, err := footprints(net, plan, batch)
+	fps, err := footprints(net, plan, batch, darknet.FP32)
 	if err != nil {
 		return Placement{}, false
 	}

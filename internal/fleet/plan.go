@@ -63,6 +63,16 @@ func (p Placement) Replicas() int { return len(p.Groups) }
 // goes to the roomiest host that still fits it, which both balances
 // load and keeps adjacent stages co-located while one host has room.
 func PlanPlacement(net *darknet.Network, headrooms []int, batch, overhead, replicas int) (Placement, error) {
+	return PlanPlacementAt(net, headrooms, batch, overhead, replicas, darknet.FP32)
+}
+
+// PlanPlacementAt is PlanPlacement at an explicit parameter precision:
+// at darknet.Int8 every shard's parameter bytes are counted as the
+// int8-quantized snapshot variant (~4x smaller), so the same fleet
+// admits coarser splits, more replica groups, or models that are
+// infeasible at fp32. Activation buffers are unchanged — only the
+// resident parameters shrink.
+func PlanPlacementAt(net *darknet.Network, headrooms []int, batch, overhead, replicas int, prec darknet.Precision) (Placement, error) {
 	if net == nil || len(net.Layers) == 0 {
 		return Placement{}, fmt.Errorf("%w: empty model", ErrInfeasible)
 	}
@@ -89,11 +99,11 @@ func PlanPlacement(net *darknet.Network, headrooms []int, batch, overhead, repli
 	}
 	bound := maxHead - overhead
 	for {
-		plan, err := net.PlanShards(bound, batch)
+		plan, err := net.PlanShardsAt(bound, batch, prec)
 		if err != nil {
 			return Placement{}, fmt.Errorf("fleet: plan shards: %w", err)
 		}
-		fps, err := footprints(net, plan, batch)
+		fps, err := footprints(net, plan, batch, prec)
 		if err != nil {
 			return Placement{}, err
 		}
@@ -124,11 +134,12 @@ func PlanPlacement(net *darknet.Network, headrooms []int, batch, overhead, repli
 	}
 }
 
-// footprints computes each shard's hot working set at the batch size.
-func footprints(net *darknet.Network, plan []darknet.ShardRange, batch int) ([]int, error) {
+// footprints computes each shard's hot working set at the batch size
+// and parameter precision.
+func footprints(net *darknet.Network, plan []darknet.ShardRange, batch int, prec darknet.Precision) ([]int, error) {
 	fps := make([]int, len(plan))
 	for i, r := range plan {
-		fp, err := net.ShardFootprint(r, batch)
+		fp, err := net.ShardFootprintAt(r, batch, prec)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d footprint: %w", i, err)
 		}

@@ -4,12 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"plinius/internal/enclave"
 	"plinius/internal/engine"
 	"plinius/internal/mnist"
+	"plinius/internal/obs"
 	"plinius/internal/romulus"
 )
+
+// mBatchReads counts training rows loaded (and decrypted) from the PM
+// data matrix by Batch — the data half of an iteration's restore
+// traffic.
+var mBatchReads = obs.Default().Counter("mirror_batch_reads_total",
+	"Training rows loaded (and decrypted) from the PM data matrix by Batch.")
 
 // PM-data module (paper §IV/§V): training data is loaded once from
 // secondary storage into a persistent matrix in byte-addressable PM,
@@ -299,8 +307,20 @@ func (d *DataMatrix) ResealFrom(newEng *engine.Engine, start int, mark func(next
 	return nil
 }
 
+// batchParallelBytes is the stored-batch size below which Batch stays
+// sequential: rows are small, so the fan-out pays off earlier than
+// model mirroring's threshold.
+const batchParallelBytes = 32 << 10
+
 // Batch samples a training batch, decrypting rows from PM into enclave
 // memory (Fig. 5 steps 5-6; Algorithm 2 decrypt_pm_data).
+//
+// All row indices are drawn from rng on the calling goroutine first,
+// so the sampled batch is identical to the sequential path no matter
+// how the work is then distributed; the per-row load → decrypt →
+// decode fans out across a bounded worker pool, each worker staging
+// through its own PM read buffer and engine Scratch (the MirrorIn
+// discipline), writing disjoint row slices of x and y.
 func (d *DataMatrix) Batch(rng *rand.Rand, size int) (x, y []float32, err error) {
 	if size <= 0 {
 		return nil, nil, fmt.Errorf("%w: batch size %d", mnist.ErrBadBatch, size)
@@ -308,13 +328,98 @@ func (d *DataMatrix) Batch(rng *rand.Rand, size int) (x, y []float32, err error)
 	imgLen := mnist.Rows * mnist.Cols
 	x = make([]float32, size*imgLen)
 	y = make([]float32, size*mnist.Classes)
-	for b := 0; b < size; b++ {
-		img, label, err := d.Row(rng.Intn(d.n))
-		if err != nil {
-			return nil, nil, err
-		}
-		copy(x[b*imgLen:], img)
-		copy(y[b*mnist.Classes:], label)
+	idxs := make([]int, size)
+	for b := range idxs {
+		idxs[b] = rng.Intn(d.n)
 	}
+
+	// fetch loads row idxs[b] into batch position b through the
+	// worker-owned buffers. Plaintext decodes straight into rowBuf;
+	// Touch accounting matches Row's (plaintext bytes staged in
+	// enclave memory).
+	fetch := func(sc *engine.Scratch, stored []byte, rowBuf []float32, b int) error {
+		i := idxs[b]
+		if err := d.rom.Load(d.dataOff+i*d.storedRow, stored); err != nil {
+			return err
+		}
+		if d.encrypted {
+			if err := d.eng.OpenFloatsWith(sc, rowBuf, stored); err != nil {
+				return fmt.Errorf("decrypt row %d: %w", i, err)
+			}
+		} else {
+			vals, err := engine.BytesToFloats(stored)
+			if err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+			copy(rowBuf, vals)
+		}
+		if d.encl != nil {
+			d.encl.Touch(d.plainRow)
+		}
+		copy(x[b*imgLen:(b+1)*imgLen], rowBuf[:imgLen])
+		copy(y[b*mnist.Classes:(b+1)*mnist.Classes], rowBuf[imgLen:])
+		return nil
+	}
+
+	workers := mirrorWorkersAt(size, size*d.storedRow, batchParallelBytes)
+	if workers <= 1 {
+		var sc *engine.Scratch
+		if d.encrypted {
+			sc = d.eng.AcquireScratch()
+			defer d.eng.ReleaseScratch(sc)
+		}
+		stored := make([]byte, d.storedRow)
+		rowBuf := make([]float32, d.plainRow/4)
+		for b := 0; b < size; b++ {
+			if err := fetch(sc, stored, rowBuf, b); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		var (
+			errMu    sync.Mutex
+			firstErr error
+		)
+		idx := make(chan int, size)
+		for b := 0; b < size; b++ {
+			idx <- b
+		}
+		close(idx)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sc *engine.Scratch
+				if d.encrypted {
+					sc = d.eng.AcquireScratch()
+					defer d.eng.ReleaseScratch(sc)
+				}
+				stored := make([]byte, d.storedRow)
+				rowBuf := make([]float32, d.plainRow/4)
+				for b := range idx {
+					errMu.Lock()
+					failed := firstErr != nil
+					errMu.Unlock()
+					if failed {
+						return
+					}
+					if err := fetch(sc, stored, rowBuf, b); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+	}
+	mBatchReads.Add(float64(size))
 	return x, y, nil
 }

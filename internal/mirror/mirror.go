@@ -121,7 +121,15 @@ var forceMirrorWorkers int
 // lastSeal/lastOpen sum per-worker wall time, time-shared workers
 // would count descheduled time and inflate the Table Ia attribution.
 func mirrorWorkers(tasks, totalBytes int) int {
-	if totalBytes < mirrorParallelBytes {
+	return mirrorWorkersAt(tasks, totalBytes, mirrorParallelBytes)
+}
+
+// mirrorWorkersAt is mirrorWorkers with an explicit byte threshold —
+// the batch loader fans out at smaller payloads than model mirroring,
+// since its per-task overhead (one row) is far smaller than a
+// parameter buffer's.
+func mirrorWorkersAt(tasks, totalBytes, threshold int) int {
+	if totalBytes < threshold {
 		return 1
 	}
 	w := runtime.GOMAXPROCS(0)
@@ -225,17 +233,39 @@ func regionAlign(n int) int {
 	return (n + romulus.AllocAlign - 1) / romulus.AllocAlign * romulus.AllocAlign
 }
 
-// modelRegionSize returns the exact heap consumption of a model region
-// for the given parameter shape — the sum of its aligned allocations.
-func modelRegionSize(paramLayers [][][]float32) int {
+// paramPlainLens maps fp32 parameter layers to their per-buffer
+// plaintext byte lengths — the shape vocabulary the region allocator
+// actually works in, shared by the fp32 and quantized codecs.
+func paramPlainLens(paramLayers [][][]float32) [][]int {
+	lens := make([][]int, len(paramLayers))
+	for li, params := range paramLayers {
+		bl := make([]int, len(params))
+		for bi, p := range params {
+			bl[bi] = 4 * len(p)
+		}
+		lens[li] = bl
+	}
+	return lens
+}
+
+// regionSizeFor returns the exact heap consumption of a model region
+// holding one sealed buffer per plaintext length — the sum of its
+// aligned allocations.
+func regionSizeFor(plainLens [][]int) int {
 	total := regionAlign(modelHdrSize)
-	for _, params := range paramLayers {
-		total += regionAlign(nodeBufTable + nodeBufEntry*len(params))
-		for _, p := range params {
-			total += regionAlign(engine.SealedLen(4 * len(p)))
+	for _, bufs := range plainLens {
+		total += regionAlign(nodeBufTable + nodeBufEntry*len(bufs))
+		for _, n := range bufs {
+			total += regionAlign(engine.SealedLen(n))
 		}
 	}
 	return total
+}
+
+// modelRegionSize returns the exact heap consumption of an fp32 model
+// region for the given parameter shape.
+func modelRegionSize(paramLayers [][][]float32) int {
+	return regionSizeFor(paramPlainLens(paramLayers))
 }
 
 // regionAllocator bump-allocates inside an existing PM region [base,
@@ -260,6 +290,15 @@ func regionAllocator(base, size int) func(int) (int, error) {
 // the Romulus heap for fresh regions, an in-region bump allocator for
 // recycled ones.
 func allocModelRegionWith(rom *romulus.Romulus, alloc func(int) (int, error), paramLayers [][][]float32) (int, []layerNode, error) {
+	return allocRegionWith(rom, alloc, paramPlainLens(paramLayers))
+}
+
+// allocRegionWith lays out one persistent layer-list region — header,
+// layer nodes and one sealed buffer per plaintext length — over an
+// arbitrary allocator. The fp32 mirror and the quantized snapshot share
+// this layout; only the plaintext lengths (and the codec that fills the
+// buffers) differ.
+func allocRegionWith(rom *romulus.Romulus, alloc func(int) (int, error), plainLens [][]int) (int, []layerNode, error) {
 	hdr, err := alloc(modelHdrSize)
 	if err != nil {
 		return 0, nil, err
@@ -267,7 +306,7 @@ func allocModelRegionWith(rom *romulus.Romulus, alloc func(int) (int, error), pa
 	var layers []layerNode
 	var prevNodeOff = -1
 	var firstNodeOff int
-	for _, params := range paramLayers {
+	for _, params := range plainLens {
 		nodeSize := nodeBufTable + nodeBufEntry*len(params)
 		nodeOff, err := alloc(nodeSize)
 		if err != nil {
@@ -275,7 +314,7 @@ func allocModelRegionWith(rom *romulus.Romulus, alloc func(int) (int, error), pa
 		}
 		node := layerNode{off: nodeOff}
 		for bi, p := range params {
-			sealedLen := engine.SealedLen(4 * len(p))
+			sealedLen := engine.SealedLen(p)
 			bufOff, err := alloc(sealedLen)
 			if err != nil {
 				return 0, nil, err
@@ -308,7 +347,7 @@ func allocModelRegionWith(rom *romulus.Romulus, alloc func(int) (int, error), pa
 	if err := rom.StoreUint64(hdr+modelHdrIter, 0); err != nil {
 		return 0, nil, err
 	}
-	if err := rom.StoreUint64(hdr+modelHdrNumL, uint64(len(paramLayers))); err != nil {
+	if err := rom.StoreUint64(hdr+modelHdrNumL, uint64(len(plainLens))); err != nil {
 		return 0, nil, err
 	}
 	if err := rom.StoreUint64(hdr+modelHdrHead, uint64(firstNodeOff)); err != nil {

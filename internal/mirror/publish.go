@@ -15,9 +15,16 @@
 //
 // Persistent layout (root slot RootPublished, little-endian uint64):
 //
-//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff, regionSize} | manifestOff | manifestCap
+//	pub header: latestVersion | numSlots | maxPubSlots x {version, modelOff, regionSize, qOff, qSize, qValid} | manifestOff | manifestCap
 //
-// Slot model regions reuse the mirror's layer-list layout. The
+// Slot model regions reuse the mirror's layer-list layout. A slot may
+// additionally carry a quantized (int8) snapshot variant of the same
+// version in a second region (qOff/qSize): PublishOut writes it when
+// asked (WithQuantized), and qValid — flipped in the same durable
+// transaction as the version — records whether the variant is present,
+// so a crash mid-publish can never expose a torn quant region. qOff
+// and qSize persist across retirements for the same in-place reuse
+// discipline as the fp32 region. The
 // recorded regionSize makes slot recycling shape-proof: Romulus has no
 // free, so v2 leaked a slot's old region whenever the model shape
 // changed; with the size known, a recycled slot whose new payload fits
@@ -46,7 +53,7 @@ const (
 	pubHdrLatest   = 0
 	pubHdrNumSlots = 8
 	pubHdrSlots    = 16
-	pubSlotEntry   = 24 // version(8) + modelOff(8) + regionSize(8)
+	pubSlotEntry   = 48 // version(8) + modelOff(8) + regionSize(8) + qOff(8) + qSize(8) + qValid(8)
 
 	// maxPubSlots bounds the publication table. Slots are recycled as
 	// soon as they are neither latest nor pinned, so the table only
@@ -94,6 +101,15 @@ type pubSlot struct {
 	regionSize int         // heap bytes of the slot's model region
 	layers     []layerNode // cached layout of the slot's model region
 	pins       int
+
+	// Quantized variant region: allocated lazily on the first
+	// WithQuantized publish into this slot, reused in place across
+	// versions like the fp32 region. qValid marks whether the slot's
+	// CURRENT version carries a quant snapshot.
+	qOff    int
+	qSize   int
+	qLayers []layerNode
+	qValid  bool
 }
 
 // Publication is a handle to the versioned publication table in PM.
@@ -183,13 +199,35 @@ func OpenPublication(rom *romulus.Romulus) (*Publication, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := &pubSlot{idx: i, version: version, modelOff: int(modelOff), regionSize: int(regionSize)}
+		qOff, err := rom.LoadUint64(entry + 24)
+		if err != nil {
+			return nil, err
+		}
+		qSize, err := rom.LoadUint64(entry + 32)
+		if err != nil {
+			return nil, err
+		}
+		qValid, err := rom.LoadUint64(entry + 40)
+		if err != nil {
+			return nil, err
+		}
+		s := &pubSlot{
+			idx: i, version: version, modelOff: int(modelOff), regionSize: int(regionSize),
+			qOff: int(qOff), qSize: int(qSize), qValid: qValid != 0,
+		}
 		if s.modelOff != 0 {
 			m, err := openModelAt(rom, nil, s.modelOff)
 			if err != nil {
 				return nil, fmt.Errorf("publication slot %d: %w", i, err)
 			}
 			s.layers = m.layers
+		}
+		if s.qOff != 0 {
+			qm, err := openModelAt(rom, nil, s.qOff)
+			if err != nil {
+				return nil, fmt.Errorf("publication slot %d quant region: %w", i, err)
+			}
+			s.qLayers = qm.layers
 		}
 		p.slots = append(p.slots, s)
 	}
@@ -258,15 +296,35 @@ func layersMatch(layers []layerNode, paramLayers [][][]float32) error {
 	return m.matches(paramLayers)
 }
 
+// PublishOption configures one PublishOut call.
+type PublishOption func(*publishConfig)
+
+type publishConfig struct {
+	quantized bool
+}
+
+// WithQuantized makes PublishOut additionally seal an int8-quantized
+// variant of the snapshot into the slot's quant region, restorable via
+// Pin.OpenQuant with ~4x smaller sealed payload.
+func WithQuantized() PublishOption {
+	return func(c *publishConfig) { c.quantized = true }
+}
+
 // PublishOut seals net's parameters into an immutable snapshot and
 // publishes it as the next version. The snapshot region is written
 // first (its slot marked unpublished), then the version and the latest
 // pointer flip in one durable transaction — a crash at any point leaves
-// the previous latest version intact and restorable.
+// the previous latest version intact and restorable. With
+// WithQuantized, the int8 variant is written before that flip and its
+// validity bit rides in the same transaction.
 //
 // The caller must serialize PM access (PublishOut vs other romulus
 // users); the publication's own bookkeeping is internally locked.
-func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network) (uint64, error) {
+func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network, opts ...PublishOption) (uint64, error) {
+	var cfg publishConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	paramLayers := collectParamLayers(net)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -276,15 +334,21 @@ func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network) (uint
 		return 0, err
 	}
 	// Retire the slot before overwriting its bytes so a crash mid-write
-	// cannot leave a stale version number pointing at torn content.
-	if slot.version != 0 {
+	// cannot leave a stale version number pointing at torn content. The
+	// quant validity bit is cleared in the same transaction: whatever
+	// the quant region holds is now unowned bytes.
+	if slot.version != 0 || slot.qValid {
 		err := p.rom.Update(func() error {
-			return p.rom.StoreUint64(p.slotEntryOff(slot.idx), 0)
+			if err := p.rom.StoreUint64(p.slotEntryOff(slot.idx), 0); err != nil {
+				return err
+			}
+			return p.rom.StoreUint64(p.slotEntryOff(slot.idx)+40, 0)
 		})
 		if err != nil {
 			return 0, err
 		}
 		slot.version = 0
+		slot.qValid = false
 	}
 	// (Re)lay out the slot's model region if the shape changed. A
 	// recycled region big enough for the new payload is rewritten in
@@ -338,10 +402,20 @@ func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network) (uint
 	if err := m.MirrorOut(net); err != nil {
 		return 0, fmt.Errorf("publish seal: %w", err)
 	}
+	if cfg.quantized {
+		if err := p.writeQuantVariant(eng, slot, paramLayers, net.Iteration); err != nil {
+			return 0, fmt.Errorf("publish quant seal: %w", err)
+		}
+	}
 	newVer := p.latest + 1
 	err = p.rom.Update(func() error {
 		if err := p.rom.StoreUint64(p.slotEntryOff(slot.idx), newVer); err != nil {
 			return err
+		}
+		if cfg.quantized {
+			if err := p.rom.StoreUint64(p.slotEntryOff(slot.idx)+40, 1); err != nil {
+				return err
+			}
 		}
 		return p.rom.StoreUint64(p.hdrOff+pubHdrLatest, newVer)
 	})
@@ -349,8 +423,61 @@ func (p *Publication) PublishOut(eng *engine.Engine, net *darknet.Network) (uint
 		return 0, err
 	}
 	slot.version = newVer
+	slot.qValid = cfg.quantized
 	p.latest = newVer
 	return newVer, nil
+}
+
+// writeQuantVariant lays out (or reuses) the slot's quant region and
+// seals the int8 snapshot into it. The same in-place reuse discipline
+// as the fp32 region applies: a retired quant region big enough for
+// the new shape is rewritten in place, an outgrown one is abandoned to
+// the bump allocator. Called with p.mu held; qValid is NOT set here —
+// the caller flips it with the version.
+func (p *Publication) writeQuantVariant(eng *engine.Engine, slot *pubSlot, paramLayers [][][]float32, iteration int) error {
+	qLens := quantPlainLens(paramLayers)
+	if slot.qOff == 0 || nodesMatchLens(slot.qLayers, qLens) != nil {
+		need := regionSizeFor(qLens)
+		if slot.qOff != 0 && need <= slot.qSize {
+			err := p.rom.Update(func() error {
+				hdr, layers, err := allocRegionWith(p.rom,
+					regionAllocator(slot.qOff, slot.qSize), qLens)
+				if err != nil {
+					return err
+				}
+				slot.qLayers = layers
+				if hdr != slot.qOff {
+					return fmt.Errorf("%w: reused quant region header moved %d -> %d",
+						ErrPubCorrupt, slot.qOff, hdr)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			p.reused += need
+		} else {
+			abandoned := slot.qSize
+			err := p.rom.Update(func() error {
+				hdr, layers, err := allocRegionWith(p.rom, p.rom.Alloc, qLens)
+				if err != nil {
+					return err
+				}
+				slot.qOff, slot.qLayers, slot.qSize = hdr, layers, need
+				entry := p.slotEntryOff(slot.idx)
+				if err := p.rom.StoreUint64(entry+24, uint64(hdr)); err != nil {
+					return err
+				}
+				return p.rom.StoreUint64(entry+32, uint64(need))
+			})
+			if err != nil {
+				return err
+			}
+			p.leaked += abandoned
+		}
+	}
+	_, err := writeQuantSnapshot(p.rom, eng, slot.qOff, slot.qLayers, paramLayers, iteration)
+	return err
 }
 
 // Pin is a reader's hold on one published version: while held, the
@@ -407,6 +534,49 @@ func (pin *Pin) Open(eng *engine.Engine, opts ...Option) (*Model, error) {
 		return nil, errSlotSuperseded
 	}
 	return openModelAt(pin.pub.rom, eng, off, opts...)
+}
+
+// HasQuant reports whether the pinned version carries a quantized
+// (int8) snapshot variant.
+func (pin *Pin) HasQuant() bool {
+	pin.mu.Lock()
+	released := pin.released
+	pin.mu.Unlock()
+	if released {
+		return false
+	}
+	pin.pub.mu.Lock()
+	defer pin.pub.mu.Unlock()
+	return pin.slot.version == pin.version && pin.slot.qValid
+}
+
+// ErrNoQuant is returned by OpenQuant when the pinned version was
+// published without a quantized variant.
+var ErrNoQuant = errors.New("mirror: published version has no quantized variant")
+
+// OpenQuant returns a QuantModel handle over the pinned version's int8
+// snapshot variant, decrypting with the reader's own engine. PM access
+// through the handle must be serialized by the caller like any other
+// romulus use.
+func (pin *Pin) OpenQuant(eng *engine.Engine, opts ...Option) (*QuantModel, error) {
+	pin.mu.Lock()
+	released := pin.released
+	pin.mu.Unlock()
+	if released {
+		return nil, ErrPinReleased
+	}
+	pin.pub.mu.Lock()
+	off := pin.slot.qOff
+	valid := pin.slot.qValid
+	ok := pin.slot.version == pin.version
+	pin.pub.mu.Unlock()
+	if !ok {
+		return nil, errSlotSuperseded
+	}
+	if !valid || off == 0 {
+		return nil, ErrNoQuant
+	}
+	return openQuantAt(pin.pub.rom, eng, off, opts...)
 }
 
 // ShardManifestEntry records one shard of a serving plan: the

@@ -1,0 +1,293 @@
+package mirror
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"plinius/internal/darknet"
+)
+
+// TestQuantPublishRestoreRoundTrip publishes a model with the int8
+// variant, restores the variant into a quantized clone, and checks the
+// restored weights are exactly the symmetric quantization of the
+// published fp32 parameters, the fp32 side buffers are bit-exact, and
+// the sealed payload is well under the 30%-of-fp32 budget.
+func TestQuantPublishRestoreRoundTrip(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+	net.Iteration = 42
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	if _, err := p.PublishOut(eng, net, WithQuantized()); err != nil {
+		t.Fatalf("PublishOut quantized: %v", err)
+	}
+	pin, err := p.Pin(0)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	defer pin.Release()
+	if !pin.HasQuant() {
+		t.Fatal("HasQuant = false after quantized publish")
+	}
+	m, err := pin.Open(eng)
+	if err != nil {
+		t.Fatalf("pin.Open: %v", err)
+	}
+	qm, err := pin.OpenQuant(eng)
+	if err != nil {
+		t.Fatalf("pin.OpenQuant: %v", err)
+	}
+	if ratio := float64(qm.SealedBytes()) / float64(m.SealedBytes()); ratio > 0.30 {
+		t.Fatalf("quant sealed payload is %.1f%% of fp32 (%d / %d), want <= 30%%",
+			100*ratio, qm.SealedBytes(), m.SealedBytes())
+	}
+
+	qnet, err := darknet.QuantizeNetwork(testNet(t, 99)) // different seed: every byte must come from PM
+	if err != nil {
+		t.Fatalf("QuantizeNetwork: %v", err)
+	}
+	iter, err := qm.RestoreInto(qnet)
+	if err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	if iter != 42 || qnet.Iteration != 42 {
+		t.Fatalf("restored iteration %d/%d, want 42", iter, qnet.Iteration)
+	}
+	for li, l := range net.Layers {
+		params := l.Params()
+		if len(params) == 0 {
+			continue
+		}
+		ql, ok := qnet.Layers[li].(darknet.QuantWeightLayer)
+		if !ok {
+			t.Fatalf("layer %d: restored clone is not a QuantWeightLayer", li)
+		}
+		wantQ, wantScale := darknet.QuantizeWeights(params[0])
+		if got := ql.WeightScale(); got != wantScale {
+			t.Fatalf("layer %d scale: %v, want %v", li, got, wantScale)
+		}
+		gotQ := ql.QuantWeights()
+		if len(gotQ) != len(wantQ) {
+			t.Fatalf("layer %d: %d codes, want %d", li, len(gotQ), len(wantQ))
+		}
+		for i := range wantQ {
+			if gotQ[i] != wantQ[i] {
+				t.Fatalf("layer %d code[%d]: %d, want %d", li, i, gotQ[i], wantQ[i])
+			}
+		}
+		qparams := qnet.Layers[li].Params()
+		for bi := 1; bi < len(params); bi++ {
+			for i := range params[bi] {
+				if qparams[bi-1][i] != params[bi][i] {
+					t.Fatalf("layer %d fp32 buffer %d[%d]: %v, want %v",
+						li, bi, i, qparams[bi-1][i], params[bi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantVariantAbsentWithoutOption: a plain publish carries no
+// quantized variant; OpenQuant fails with ErrNoQuant and HasQuant is
+// false, while the fp32 snapshot opens normally.
+func TestQuantVariantAbsentWithoutOption(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	publishNet(t, p, eng, net)
+	pin, err := p.Pin(0)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	defer pin.Release()
+	if pin.HasQuant() {
+		t.Fatal("HasQuant = true after fp32-only publish")
+	}
+	if _, err := pin.OpenQuant(eng); !errors.Is(err, ErrNoQuant) {
+		t.Fatalf("OpenQuant = %v, want ErrNoQuant", err)
+	}
+	if _, err := pin.Open(eng); err != nil {
+		t.Fatalf("fp32 Open: %v", err)
+	}
+}
+
+// TestQuantRegionReusedAcrossVersions: same-shape quantized
+// republishes recycle slots without abandoning any region to the bump
+// allocator, and the latest version restores its own weights.
+func TestQuantRegionReusedAcrossVersions(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 1)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	// Fill every slot with quantized versions, then keep publishing so
+	// slots (and their quant regions) recycle.
+	for i := 0; i < maxPubSlots+3; i++ {
+		perturb(net, float32(i+1))
+		net.Iteration = i + 1
+		if _, err := p.PublishOut(eng, net, WithQuantized()); err != nil {
+			t.Fatalf("PublishOut %d: %v", i, err)
+		}
+	}
+	if p.LeakedBytes() != 0 {
+		t.Fatalf("LeakedBytes = %d after same-shape republishes, want 0", p.LeakedBytes())
+	}
+
+	pin, err := p.Pin(0)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	defer pin.Release()
+	qm, err := pin.OpenQuant(eng)
+	if err != nil {
+		t.Fatalf("OpenQuant: %v", err)
+	}
+	qnet, err := darknet.QuantizeNetwork(testNet(t, 7))
+	if err != nil {
+		t.Fatalf("QuantizeNetwork: %v", err)
+	}
+	iter, err := qm.RestoreInto(qnet)
+	if err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	if iter != maxPubSlots+3 {
+		t.Fatalf("restored iteration %d, want %d", iter, maxPubSlots+3)
+	}
+	// Spot-check the restored weights against the final fp32 state.
+	l0 := net.Layers[0].Params()[0]
+	ql := qnet.Layers[0].(darknet.QuantWeightLayer)
+	wantQ, wantScale := darknet.QuantizeWeights(l0)
+	if ql.WeightScale() != wantScale {
+		t.Fatalf("scale %v, want %v", ql.WeightScale(), wantScale)
+	}
+	for i := range wantQ {
+		if ql.QuantWeights()[i] != wantQ[i] {
+			t.Fatalf("code[%d]: %d, want %d", i, ql.QuantWeights()[i], wantQ[i])
+		}
+	}
+}
+
+// TestQuantRegionReusedOnShapeShrink: recycling a slot for a smaller
+// network rewrites both the fp32 and quant regions in place (counted by
+// ReusedBytes) rather than abandoning them, and the restored variant
+// carries the new shape's weights.
+func TestQuantRegionReusedOnShapeShrink(t *testing.T) {
+	_, rom := testHeap(t, 64<<20)
+	eng := testEngine(t)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	big := testNetShape(t, 2, 8)
+	for i := 0; i < maxPubSlots; i++ {
+		perturb(big, float32(i+1))
+		big.Iteration = i + 1
+		if _, err := p.PublishOut(eng, big, WithQuantized()); err != nil {
+			t.Fatalf("PublishOut big %d: %v", i, err)
+		}
+	}
+	small := testNetShape(t, 1, 4)
+	small.Iteration = 100
+	if _, err := p.PublishOut(eng, small, WithQuantized()); err != nil {
+		t.Fatalf("PublishOut small: %v", err)
+	}
+	if p.LeakedBytes() != 0 {
+		t.Fatalf("LeakedBytes = %d after shrink republish, want 0", p.LeakedBytes())
+	}
+	if p.ReusedBytes() == 0 {
+		t.Fatal("ReusedBytes = 0: the shrunk regions were not rewritten in place")
+	}
+
+	pin, err := p.Pin(0)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	defer pin.Release()
+	qm, err := pin.OpenQuant(eng)
+	if err != nil {
+		t.Fatalf("OpenQuant: %v", err)
+	}
+	qnet, err := darknet.QuantizeNetwork(testNetShape(t, 1, 4))
+	if err != nil {
+		t.Fatalf("QuantizeNetwork: %v", err)
+	}
+	iter, err := qm.RestoreInto(qnet)
+	if err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	if iter != 100 {
+		t.Fatalf("restored iteration %d, want 100", iter)
+	}
+	wantQ, wantScale := darknet.QuantizeWeights(small.Layers[0].Params()[0])
+	ql := qnet.Layers[0].(darknet.QuantWeightLayer)
+	if ql.WeightScale() != wantScale {
+		t.Fatalf("scale %v, want %v", ql.WeightScale(), wantScale)
+	}
+	for i := range wantQ {
+		if ql.QuantWeights()[i] != wantQ[i] {
+			t.Fatalf("code[%d]: %d, want %d", i, ql.QuantWeights()[i], wantQ[i])
+		}
+	}
+}
+
+// TestQuantRestoreBound: every dequantized weight restored from PM is
+// within half a quantization step of the published fp32 value — the
+// end-to-end form of the codec's round-trip bound, across seal, PM
+// storage, and open.
+func TestQuantRestoreBound(t *testing.T) {
+	_, rom := testHeap(t, 32<<20)
+	eng := testEngine(t)
+	net := testNet(t, 3)
+
+	p, err := OpenPublication(rom)
+	if err != nil {
+		t.Fatalf("OpenPublication: %v", err)
+	}
+	if _, err := p.PublishOut(eng, net, WithQuantized()); err != nil {
+		t.Fatalf("PublishOut: %v", err)
+	}
+	pin, err := p.Pin(0)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	defer pin.Release()
+	qm, err := pin.OpenQuant(eng)
+	if err != nil {
+		t.Fatalf("OpenQuant: %v", err)
+	}
+	qnet, err := darknet.QuantizeNetwork(testNet(t, 4))
+	if err != nil {
+		t.Fatalf("QuantizeNetwork: %v", err)
+	}
+	if _, err := qm.RestoreInto(qnet); err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	for li, l := range net.Layers {
+		params := l.Params()
+		if len(params) == 0 {
+			continue
+		}
+		ql := qnet.Layers[li].(darknet.QuantWeightLayer)
+		scale, codes := ql.WeightScale(), ql.QuantWeights()
+		bound := float64(scale)/2 + float64(scale)*1e-6
+		for i, w := range params[0] {
+			if d := math.Abs(float64(w) - float64(scale)*float64(codes[i])); d > bound {
+				t.Fatalf("layer %d weight %d: |%v - %v*%d| = %v > %v", li, i, w, scale, codes[i], d, bound)
+			}
+		}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"plinius/internal/core"
+	"plinius/internal/darknet"
 	"plinius/internal/enclave"
 	"plinius/internal/fleet"
 	"plinius/internal/obs"
@@ -145,6 +146,14 @@ type Options struct {
 	// FleetReplicas is the number of replica groups in fleet mode;
 	// zero packs as many as the fleet's capacity admits.
 	FleetReplicas int
+	// Quantized serves the int8-quantized snapshot variant instead of
+	// fp32: publication switches to quantized mode (every snapshot
+	// carries the int8 variant alongside fp32), and each replica
+	// restores the variant — ~4x smaller sealed payloads and EPC
+	// footprints, so more replicas fit the same headroom, at a small
+	// documented accuracy cost. Applies to the whole-model replica
+	// pool; shard and fleet modes serve fp32 regardless.
+	Quantized bool
 	// Metrics is the registry the server's metrics (and, in shard
 	// mode, the shard pipeline's) register into. Nil gets the server a
 	// private registry, retrievable via Server.Metrics — servers are
@@ -281,6 +290,12 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	if err := f.EnsureModelCurrent(); err != nil {
 		return nil, fmt.Errorf("serve: restore model before publish: %w", err)
 	}
+	// Quantized serving flips the framework into quantized publication
+	// before the snapshot below, so the very first published version
+	// already carries the int8 variant the replicas will restore.
+	if opts.Quantized {
+		f.SetPublishQuantized(true)
+	}
 	ver, err := f.LatestPublished()
 	if err != nil {
 		return nil, fmt.Errorf("serve: read publication: %w", err)
@@ -316,6 +331,13 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 		func() float64 { return float64(s.host.Resident()) })
 	reg.GaugeFunc("serve_queue_len", "Requests currently queued for batching.",
 		func() float64 { return float64(len(s.reqCh)) })
+	reg.GaugeFunc("serve_quantized", "1 when the pool serves the int8-quantized snapshot variant, 0 for fp32.",
+		func() float64 {
+			if s.Precision() == darknet.Int8 {
+				return 1
+			}
+			return 0
+		})
 
 	// Fleet serving: the multi-host fabric, when Options.Fleet hosts
 	// are given (gated on the over-headroom regime by FleetAuto). The
@@ -324,7 +346,7 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	// the aggregate pipeline window.
 	fleeted := len(opts.Fleet) > 0
 	if fleeted && opts.FleetAuto {
-		fp := f.ReplicaFootprint()
+		fp := replicaFootprint(f, opts)
 		fleeted = fp > 0 && fp > f.Host.Headroom()
 	}
 	if fleeted {
@@ -360,7 +382,7 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	// co-located enclave over the paging knee.
 	sharded := opts.Shards > 0
 	if opts.Shards == ShardAuto {
-		fp := f.ReplicaFootprint()
+		fp := replicaFootprint(f, opts)
 		sharded = fp > 0 && fp > f.Host.Headroom()
 	}
 	if sharded {
@@ -393,8 +415,12 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	}
 
 	if opts.Workers == WorkersAuto {
-		opts.Workers = autoWorkers(f)
+		opts.Workers = autoWorkers(f, replicaFootprint(f, opts))
 		s.opts.Workers = opts.Workers
+	}
+	var repOpts []core.ReplicaOption
+	if opts.Quantized {
+		repOpts = append(repOpts, core.WithQuantizedReplica())
 	}
 	for i := 0; i < opts.Workers; i++ {
 		if err := ctx.Err(); err != nil {
@@ -403,7 +429,7 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 			}
 			return nil, fmt.Errorf("serve: cancelled building replica %d: %w", i, err)
 		}
-		rep, err := f.NewReplica(opts.Seed + int64(i) + 1)
+		rep, err := f.NewReplica(opts.Seed+int64(i)+1, repOpts...)
 		if err != nil {
 			for _, r := range s.replicas {
 				_ = r.Close()
@@ -425,16 +451,27 @@ func New(ctx context.Context, f *core.Framework, opts Options) (*Server, error) 
 	return s, nil
 }
 
+// replicaFootprint is the per-replica EPC claim at the configured
+// serving precision: a quantized pool restores the int8 snapshot
+// variant, so auto worker sizing and the ShardAuto/FleetAuto gates see
+// the ~4x smaller footprint and fit more replicas per host.
+func replicaFootprint(f *core.Framework, opts Options) int {
+	if opts.Quantized {
+		return f.ReplicaFootprintAt(darknet.Int8)
+	}
+	return f.ReplicaFootprint()
+}
+
 // autoWorkers implements WorkersAuto: fit the replica pool into the
-// EPC headroom left on the framework's host. Each replica claims the
-// model parameters plus per-enclave overhead; replicas beyond the
-// remaining usable EPC would push every co-located enclave — including
-// the training enclave — past the shared paging knee, so the pool
-// stops at the budget. Clamped to [1, GOMAXPROCS]: one replica always
-// serves (paying pressure if it must), and replicas beyond the CPU
-// count add no forward-pass parallelism.
-func autoWorkers(f *core.Framework) int {
-	per := f.ReplicaFootprint()
+// EPC headroom left on the framework's host. Each replica claims per
+// bytes — the model parameters at the serving precision plus
+// per-enclave overhead; replicas beyond the remaining usable EPC would
+// push every co-located enclave — including the training enclave —
+// past the shared paging knee, so the pool stops at the budget.
+// Clamped to [1, GOMAXPROCS]: one replica always serves (paying
+// pressure if it must), and replicas beyond the CPU count add no
+// forward-pass parallelism.
+func autoWorkers(f *core.Framework, per int) int {
 	n := 1
 	if per > 0 {
 		n = f.Host.Headroom() / per
@@ -784,6 +821,17 @@ func (s *Server) FleetHostReports() []fleet.HostReport {
 	return s.fleet.HostReports()
 }
 
+// Precision returns the parameter precision the pool serves: Int8 when
+// Options.Quantized selected the quantized snapshot variant (whole-
+// model replica pool only), FP32 otherwise — shard and fleet pipelines
+// always serve fp32.
+func (s *Server) Precision() darknet.Precision {
+	if s.opts.Quantized && s.fleet == nil && s.group == nil {
+		return darknet.Int8
+	}
+	return darknet.FP32
+}
+
 // Iteration returns the training iteration of the served model.
 func (s *Server) Iteration() int { return int(s.iter.Load()) }
 
@@ -941,6 +989,7 @@ func (s *Server) RotateKey(ctx context.Context) (uint64, error) {
 // mode — the pipeline's restore/stall/prefetch counters.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
+	st.Precision = s.Precision().String()
 	st.EPCPressure = s.host.Overcommit()
 	st.HostResidentBytes = s.host.Resident()
 	switch {

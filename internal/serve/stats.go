@@ -8,6 +8,9 @@ import (
 
 // Stats is a snapshot of a Server's serving counters.
 type Stats struct {
+	// Precision is the active serving parameter precision: "int8" when
+	// the pool serves the quantized snapshot variant, "fp32" otherwise.
+	Precision string
 	// Requests is the number of requests served successfully.
 	Requests uint64
 	// Rejected counts admission-control rejections: requests that

@@ -75,7 +75,7 @@ func TestAutoWorkersFootprintZeroGuard(t *testing.T) {
 	if fp := f.ReplicaFootprint(); fp != 0 {
 		t.Fatalf("ReplicaFootprint after crash = %d, want 0", fp)
 	}
-	if got := autoWorkers(f); got != 1 {
+	if got := autoWorkers(f, f.ReplicaFootprint()); got != 1 {
 		t.Fatalf("autoWorkers with zero footprint = %d, want 1", got)
 	}
 }
@@ -87,7 +87,7 @@ func TestAutoWorkersZeroHeadroomFloor(t *testing.T) {
 	if h := f.Host.Headroom(); h != 0 {
 		t.Fatalf("Headroom = %d, test needs an exhausted host", h)
 	}
-	if got := autoWorkers(f); got != 1 {
+	if got := autoWorkers(f, f.ReplicaFootprint()); got != 1 {
 		t.Fatalf("autoWorkers with zero headroom = %d, want 1", got)
 	}
 }
@@ -102,7 +102,7 @@ func TestAutoWorkersGOMAXPROCSClamp(t *testing.T) {
 		t.Fatalf("headroom %d / footprint %d does not exceed GOMAXPROCS %d; test needs the clamp regime",
 			f.Host.Headroom(), per, max)
 	}
-	if got := autoWorkers(f); got != max {
+	if got := autoWorkers(f, f.ReplicaFootprint()); got != max {
 		t.Fatalf("autoWorkers = %d, want GOMAXPROCS %d", got, max)
 	}
 }

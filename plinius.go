@@ -233,6 +233,18 @@ type (
 	ShardOptions = core.ShardOptions
 	// ShardRange is a contiguous layer range of a sharded model.
 	ShardRange = darknet.ShardRange
+	// Precision is a serving parameter precision (FP32 or Int8); see
+	// ServerOptions.Quantized and Server.Precision.
+	Precision = darknet.Precision
+)
+
+// Serving parameter precisions. Int8 is the quantized snapshot variant:
+// per-layer symmetric int8 weights published alongside the fp32
+// snapshot (Framework.SetPublishQuantized, ServerOptions.Quantized),
+// with ~4x smaller sealed payloads and replica EPC footprints.
+const (
+	FP32 = darknet.FP32
+	Int8 = darknet.Int8
 )
 
 // Serving errors re-exported for matching with errors.Is.
