@@ -8,11 +8,16 @@
 //	plinius-bench -exp fig7 -quick    # scaled-down fast run
 //
 // Experiments: fig2, fig6, fig7, table1a, table1b, fig8, fig9, fig10,
-// inference, tcb, freq, coloc, shard, fleet, perf, all.
+// inference, tcb, freq, coloc, shard, fleet, chaos, perf, all.
 //
 // -exp fleet writes its comparison (multi-host fleet vs single-host
 // sharded vs monolithic serving of an over-EPC model) to -out as well
 // (default BENCH_fleet.json), under the same rules as -exp perf below.
+//
+// -exp chaos kills one of three fleet hosts under sustained load,
+// rejoins it, and writes the outcome (dropped requests — expected 0 —
+// recovery time, per-phase P95, degraded/promoted state) to -out
+// (default BENCH_chaos.json) under the same rules.
 //
 // -exp perf additionally writes a machine-readable snapshot of the
 // parallel hot-path metrics (training iterations/s, seal GB/s, sharded
@@ -41,7 +46,7 @@ import (
 var outPath string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|fleet|perf|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig6|fig7|table1a|table1b|fig8|fig9|fig10|inference|tcb|freq|coloc|shard|fleet|chaos|perf|all)")
 	quick := flag.Bool("quick", false, "scaled-down parameters for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	root := flag.String("root", ".", "repository root (for -exp tcb)")
@@ -80,10 +85,11 @@ func run(exp string, quick bool, seed int64, root string) error {
 		"coloc":     runColoc,
 		"shard":     runShard,
 		"fleet":     runFleet,
+		"chaos":     runChaos,
 		"perf":      runPerf,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard", "fleet", "perf"}
+		order := []string{"fig2", "fig6", "fig7", "table1a", "table1b", "fig8", "fig9", "fig10", "inference", "tcb", "freq", "coloc", "shard", "fleet", "chaos", "perf"}
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](quick, seed, root); err != nil {
@@ -296,6 +302,35 @@ func runFleet(quick bool, seed int64, _ string) error {
 		sizeMB, epcMB = 6, 5
 	}
 	res, err := experiments.RunFleet(core.SGXEmlPM(), sizeMB, epcMB, hosts, batches, batch, seed)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+func runChaos(quick bool, seed int64, _ string) error {
+	// Kill 1 of 3 hosts under sustained load, rejoin it later. The host
+	// budget is chosen so the two survivors cannot hold the model
+	// resident — the outage exercises the degraded-streaming rung, and
+	// the rejoin the promotion back. Quick mode scales the geometry down
+	// to a 6 MB model on 4 MB hosts.
+	sizeMB, epcMB, hosts, batches, batch := 187, 0, 3, 24, 1
+	if quick {
+		sizeMB, epcMB, batches = 6, 4, 18
+	}
+	res, err := experiments.RunChaos(core.SGXEmlPM(), sizeMB, epcMB, hosts, batches, batch, seed)
 	if err != nil {
 		return err
 	}

@@ -218,6 +218,12 @@ func classifyStatus(err error) int {
 	switch {
 	case errors.Is(err, plinius.ErrEPCPressure):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, plinius.ErrFleetUnavailable), errors.Is(err, plinius.ErrHostDown):
+		// Fleet hosts are down and a replan is in progress (or has run
+		// out of survivors): transient, distinct from overload — clients
+		// back off and retry once the fleet rejoins or finishes
+		// replanning.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, plinius.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, plinius.ErrServerClosed):
@@ -245,10 +251,15 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bo
 		}
 		pred, err := srv.Classify(r.Context(), req.Image)
 		if err != nil {
-			if errors.Is(err, plinius.ErrEPCPressure) {
+			switch {
+			case errors.Is(err, plinius.ErrEPCPressure):
 				// Shed for EPC pressure: the host is overcommitted, not
 				// the queue — tell clients when to come back.
 				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, plinius.ErrFleetUnavailable), errors.Is(err, plinius.ErrHostDown):
+				// Fleet outage in progress: the replan completes (or a
+				// host rejoins) on the order of seconds, not instantly.
+				w.Header().Set("Retry-After", "2")
 			}
 			http.Error(w, err.Error(), classifyStatus(err))
 			return
@@ -311,6 +322,11 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bo
 			stats["fleet_groups"] = st.FleetGroups
 			stats["fleet_handoffs"] = st.FleetHandoffs
 			stats["fleet_handoff_bytes"] = st.FleetHandoffBytes
+			stats["fleet_hosts_down"] = st.FleetHostsDown
+			stats["fleet_degraded"] = st.FleetDegraded
+			stats["fleet_replans"] = st.FleetReplans
+			stats["fleet_evicted_groups"] = st.FleetEvictedGroups
+			stats["fleet_handoff_retries"] = st.FleetHandoffRetries
 			stats["fleet"] = srv.FleetHostReports()
 		}
 		json.NewEncoder(w).Encode(stats)
@@ -330,7 +346,47 @@ func serveHTTP(ctx context.Context, srv *plinius.Server, addr string, pprofOn bo
 		json.NewEncoder(w).Encode(map[string]any{"slowest": srv.SlowTraces()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		reports := srv.FleetHostReports()
+		if reports == nil {
+			// Single-host modes: the process answering is the health.
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		type hostHealth struct {
+			Host int  `json:"host"`
+			Up   bool `json:"up"`
+		}
+		hosts := make([]hostHealth, len(reports))
+		down := 0
+		for i, r := range reports {
+			hosts[i] = hostHealth{Host: r.Host, Up: !r.Down}
+			if r.Down {
+				down++
+			}
+		}
+		degraded := srv.FleetDegraded()
+		status := "ok"
+		code := http.StatusOK
+		switch {
+		case down == len(reports):
+			// Nothing left to serve on: the health endpoint itself says
+			// unavailable so balancers stop sending traffic here.
+			status = "down"
+			code = http.StatusServiceUnavailable
+		case degraded:
+			// Still serving (streaming on survivors) — healthy enough to
+			// keep traffic, but the state is visible to operators.
+			status = "degraded"
+		case down > 0:
+			status = "partial"
+		}
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":     status,
+			"degraded":   degraded,
+			"hosts_down": down,
+			"hosts":      hosts,
+		})
 	})
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)

@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plinius/internal/enclave"
+)
+
+// collect runs n attempts through the injector and returns the fault
+// kind decided for each (1-based attempt i at index i-1).
+func collect(in *Injector, n int) []Fault {
+	kinds := make([]Fault, n)
+	for i := range kinds {
+		kinds[i] = in.Next().Kind
+	}
+	return kinds
+}
+
+func TestRuleRanges(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Injector
+		want []Fault
+	}{
+		{
+			name: "single attempt when Last is zero",
+			in:   NewInjector(Rule{First: 2, Kind: Drop}),
+			want: []Fault{None, Drop, None, None},
+		},
+		{
+			name: "closed range",
+			in:   NewInjector(Rule{First: 2, Last: 3, Kind: Delay}),
+			want: []Fault{None, Delay, Delay, None},
+		},
+		{
+			name: "open-ended range",
+			in:   NewInjector(Rule{First: 3, Last: -1, Kind: Duplicate}),
+			want: []Fault{None, None, Duplicate, Duplicate, Duplicate},
+		},
+		{
+			name: "periodic every 2 from 2",
+			in:   NewInjector(Rule{First: 2, Last: -1, Kind: Drop, Every: 2}),
+			want: []Fault{None, Drop, None, Drop, None, Drop},
+		},
+		{
+			name: "first matching rule wins",
+			in: NewInjector(
+				Rule{First: 1, Last: 2, Kind: Drop},
+				Rule{First: 1, Last: -1, Kind: Delay},
+			),
+			want: []Fault{Drop, Drop, Delay, Delay},
+		},
+		{
+			name: "DropFirst",
+			in:   DropFirst(3),
+			want: []Fault{Drop, Drop, Drop, None, None},
+		},
+		{
+			name: "DropEvery",
+			in:   DropEvery(3),
+			want: []Fault{None, None, Drop, None, None, Drop, None},
+		},
+		{
+			name: "DuplicateEvery",
+			in:   DuplicateEvery(2),
+			want: []Fault{None, Duplicate, None, Duplicate},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := collect(tc.in, len(tc.want))
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("attempt %d: got %v, want %v (all: %v)", i+1, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+func TestInjectorCountersAndDelay(t *testing.T) {
+	in := NewInjector(
+		Rule{First: 1, Kind: Drop},
+		Rule{First: 2, Kind: Delay, Extra: 5 * time.Millisecond},
+		Rule{First: 3, Kind: Duplicate},
+	)
+	if d := in.Next(); d.Kind != Drop {
+		t.Fatalf("attempt 1: %v, want Drop", d.Kind)
+	}
+	if d := in.Next(); d.Kind != Delay || d.Extra != 5*time.Millisecond {
+		t.Fatalf("attempt 2: %v extra %v, want Delay 5ms", d.Kind, d.Extra)
+	}
+	if d := in.Next(); d.Kind != Duplicate {
+		t.Fatalf("attempt 3: %v, want Duplicate", d.Kind)
+	}
+	if in.Attempts() != 3 || in.Dropped() != 1 || in.Delayed() != 1 || in.Duplicated() != 1 {
+		t.Fatalf("counters: attempts=%d dropped=%d delayed=%d duplicated=%d, want 3/1/1/1",
+			in.Attempts(), in.Dropped(), in.Delayed(), in.Duplicated())
+	}
+}
+
+func TestNilInjectorDeliversClean(t *testing.T) {
+	var in *Injector
+	if d := in.Next(); d.Kind != None || d.Extra != 0 {
+		t.Fatalf("nil injector decided %v/%v, want clean", d.Kind, d.Extra)
+	}
+	if in.Attempts() != 0 || in.Dropped() != 0 || in.Delayed() != 0 || in.Duplicated() != 0 {
+		t.Fatalf("nil injector has non-zero counters")
+	}
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	// Two injectors with the same rules decide the same schedule — the
+	// property that makes chaos runs replayable.
+	a := collect(DropEvery(4), 20)
+	b := collect(DropEvery(4), 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestHostKillerFiresExactlyOnce(t *testing.T) {
+	host := enclave.NewHost(enclave.Profile{}, enclave.WithHostEPC(1<<20))
+	k := KillAfter(host, 50)
+
+	const workers = 8
+	const ticksPer = 25 // 200 ticks total, kill scripted at 50
+	var fired atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticksPer; i++ {
+				if k.Tick() {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("kill fired %d times, want exactly 1", got)
+	}
+	if !k.Killed() {
+		t.Fatalf("Killed() = false after the scripted tick")
+	}
+	if !host.Down() {
+		t.Fatalf("host not down after the kill fired")
+	}
+	if k.Host() != host {
+		t.Fatalf("Host() does not return the scripted victim")
+	}
+}
+
+func TestHostKillerZeroArmsFirstTick(t *testing.T) {
+	host := enclave.NewHost(enclave.Profile{}, enclave.WithHostEPC(1<<20))
+	k := KillAfter(host, 0)
+	if !k.Tick() {
+		t.Fatalf("KillAfter(_, 0) did not fire on the first tick")
+	}
+	if !host.Down() {
+		t.Fatalf("host not down")
+	}
+	if k.Tick() {
+		t.Fatalf("killer fired a second time")
+	}
+}
+
+func TestNilHostKillerIsInert(t *testing.T) {
+	var k *HostKiller
+	if k.Tick() {
+		t.Fatalf("nil killer ticked true")
+	}
+	if k.Killed() {
+		t.Fatalf("nil killer reports killed")
+	}
+}

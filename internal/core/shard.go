@@ -728,6 +728,12 @@ func (g *ShardGroup) tryPrefetch(s *shard) {
 		err := s.encl.Ecall(func() error { return g.restoreRange(s, true) })
 		if err == nil {
 			s.mPrefetched.Inc()
+		} else if errors.Is(err, enclave.ErrHostDown) {
+			// The Ecall was refused at the boundary, so restoreRange
+			// never ran and never freed the budget reserved above.
+			// Return it here or a killed-then-rejoined host would leak
+			// the phantom reservation forever.
+			_ = s.encl.Free(s.footprint)
 		}
 		s.finishRestore(err)
 	}()

@@ -110,6 +110,11 @@ var (
 	ErrBadAlloc      = errors.New("enclave: allocation size must be positive")
 	ErrFreeTooMuch   = errors.New("enclave: free exceeds allocated footprint")
 	ErrClosed        = errors.New("enclave: enclave is closed")
+	// ErrHostDown is returned by boundary crossings (Ecall, Ocall) and
+	// EPC claims on an enclave whose host has been killed. The trusted
+	// body is NOT run: a dead machine executes nothing. Callers treat it
+	// as a routing failure — mark the host down, evict, retry elsewhere.
+	ErrHostDown = errors.New("enclave: host is down")
 )
 
 // Stats counts enclave activity.
@@ -226,8 +231,12 @@ func (e *Enclave) Host() *Host { return e.host }
 func (e *Enclave) Clock() *simclock.Clock { return e.clock }
 
 // Ecall crosses into the enclave, charges the transition cost, and runs
-// fn (the trusted function body).
+// fn (the trusted function body). On a killed host the crossing fails
+// fast with ErrHostDown and fn is never run.
 func (e *Enclave) Ecall(fn func() error) error {
+	if e.host.Down() {
+		return fmt.Errorf("%w: ecall refused", ErrHostDown)
+	}
 	e.mu.Lock()
 	e.stats.Ecalls++
 	e.mu.Unlock()
@@ -237,8 +246,12 @@ func (e *Enclave) Ecall(fn func() error) error {
 }
 
 // Ocall crosses out of the enclave, charges the transition cost, and runs
-// fn (the untrusted helper body).
+// fn (the untrusted helper body). On a killed host the crossing fails
+// fast with ErrHostDown and fn is never run.
 func (e *Enclave) Ocall(fn func() error) error {
+	if e.host.Down() {
+		return fmt.Errorf("%w: ocall refused", ErrHostDown)
+	}
 	e.mu.Lock()
 	e.stats.Ocalls++
 	e.mu.Unlock()
@@ -269,6 +282,9 @@ func (e *Enclave) Reserve(n int) error {
 func (e *Enclave) claim(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("%w: %d", ErrBadAlloc, n)
+	}
+	if e.host.Down() {
+		return fmt.Errorf("%w: claim refused", ErrHostDown)
 	}
 	e.mu.Lock()
 	if e.closed {

@@ -34,6 +34,8 @@ type Host struct {
 	peak     int
 	enclaves int
 	swaps    uint64
+	down     bool
+	kills    uint64
 }
 
 // HostStats counts host-level EPC activity.
@@ -134,6 +136,45 @@ func (h *Host) Overcommit() float64 {
 		return 0
 	}
 	return float64(h.resident-h.usable) / float64(h.usable)
+}
+
+// Kill marks the host down, simulating a machine failure. Enclaves on
+// the host stay allocated (their memory accounting is unchanged) but
+// every subsequent boundary crossing — Ecall, Ocall, or EPC claim —
+// fails fast with ErrHostDown without running its body, the way RPCs
+// into a dead machine time out rather than execute. A crossing already
+// in flight when Kill lands completes normally; the failure takes
+// effect at the next boundary. Kill is idempotent.
+func (h *Host) Kill() {
+	h.mu.Lock()
+	if !h.down {
+		h.down = true
+		h.kills++
+	}
+	h.mu.Unlock()
+}
+
+// Rejoin brings a killed host back. The host returns empty-handed:
+// whatever enclaves died with it must be rebuilt by their owners (the
+// fleet layer re-provisions from the PM mirror). Rejoin is idempotent.
+func (h *Host) Rejoin() {
+	h.mu.Lock()
+	h.down = false
+	h.mu.Unlock()
+}
+
+// Down reports whether the host is currently marked dead.
+func (h *Host) Down() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down
+}
+
+// Kills returns how many times the host has been killed.
+func (h *Host) Kills() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.kills
 }
 
 // Enclaves returns the number of live enclaves on the host.

@@ -1,0 +1,102 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestHostKillRefusesBoundaryCrossings: a killed host refuses every
+// boundary crossing — Ecall, Ocall and EPC claims — with ErrHostDown,
+// and crucially never runs the crossing's body: a dead machine
+// executes nothing.
+func TestHostKillRefusesBoundaryCrossings(t *testing.T) {
+	h := NewHost(SGXEmlPMProfile())
+	e := h.NewEnclave(WithSeed(1))
+	if err := e.Reserve(4 << 20); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+
+	h.Kill()
+	if !h.Down() {
+		t.Fatalf("Down() = false after Kill")
+	}
+	if got := h.Kills(); got != 1 {
+		t.Fatalf("Kills = %d, want 1", got)
+	}
+
+	ran := false
+	if err := e.Ecall(func() error { ran = true; return nil }); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Ecall on dead host: %v, want ErrHostDown", err)
+	}
+	if err := e.Ocall(func() error { ran = true; return nil }); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Ocall on dead host: %v, want ErrHostDown", err)
+	}
+	if ran {
+		t.Fatalf("boundary crossing body ran on a dead host")
+	}
+	if err := e.Reserve(1 << 20); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Reserve on dead host: %v, want ErrHostDown", err)
+	}
+	if _, err := e.Alloc(1 << 20); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Alloc on dead host: %v, want ErrHostDown", err)
+	}
+
+	// Close is accounting-only (the controller releasing its records of
+	// a machine that no longer answers) and must work on a down host.
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close on dead host: %v", err)
+	}
+	if got := h.Resident(); got != 0 {
+		t.Fatalf("Resident = %d after Close, want 0", got)
+	}
+}
+
+// TestHostKillIdempotentAndRejoin: killing an already-dead host is a
+// no-op (Kills counts up-to-down transitions, not Kill calls); Rejoin
+// brings it back empty-handed and serving again, and a later kill
+// counts as a second transition.
+func TestHostKillIdempotentAndRejoin(t *testing.T) {
+	h := NewHost(SGXEmlPMProfile())
+	h.Kill()
+	h.Kill()
+	if got := h.Kills(); got != 1 {
+		t.Fatalf("Kills = %d after double kill, want 1 (second is a no-op)", got)
+	}
+	if !h.Down() {
+		t.Fatalf("host not down")
+	}
+
+	h.Rejoin()
+	if h.Down() {
+		t.Fatalf("host still down after Rejoin")
+	}
+	h.Kill()
+	h.Rejoin()
+	if got := h.Kills(); got != 2 {
+		t.Fatalf("Kills = %d after a second down transition, want 2", got)
+	}
+	e := h.NewEnclave(WithSeed(2))
+	if err := e.Ecall(func() error { return nil }); err != nil {
+		t.Fatalf("Ecall after Rejoin: %v", err)
+	}
+	if err := e.Reserve(1 << 20); err != nil {
+		t.Fatalf("Reserve after Rejoin: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestHostUpByDefault: a fresh host serves immediately.
+func TestHostUpByDefault(t *testing.T) {
+	h := NewHost(SGXEmlPMProfile())
+	if h.Down() {
+		t.Fatalf("fresh host reports down")
+	}
+	if h.Kills() != 0 {
+		t.Fatalf("fresh host has kill history")
+	}
+	if err := h.NewEnclave(WithSeed(3)).Ecall(func() error { return nil }); err != nil {
+		t.Fatalf("Ecall on fresh host: %v", err)
+	}
+}

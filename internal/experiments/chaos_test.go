@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"plinius/internal/core"
+)
+
+// TestChaosZeroDropsAndRecovery: the acceptance table for the chaos
+// experiment at quick scale. Killing 1 of 3 hosts under sustained load
+// (with periodic injected channel drops) must drop zero requests,
+// trigger eviction + replan, serve the outage degraded (the survivors
+// cannot hold the 6 MB model resident in 2 x 4 MB), and — after the
+// rejoin — promote back to the original resident placement.
+func TestChaosZeroDropsAndRecovery(t *testing.T) {
+	res, err := RunChaos(core.SGXEmlPM(), 6, 4, 3, 18, 1, 42)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if res.DroppedRequests != 0 {
+		t.Fatalf("dropped %d of %d requests across the host kill", res.DroppedRequests, res.AcceptedRequests)
+	}
+	if res.AcceptedRequests != 18 {
+		t.Fatalf("AcceptedRequests = %d, want 18", res.AcceptedRequests)
+	}
+	if res.HostsDownPeak != 1 {
+		t.Fatalf("HostsDownPeak = %d, want 1", res.HostsDownPeak)
+	}
+	if res.Replans < 1 || res.EvictedGroups < 1 {
+		t.Fatalf("kill triggered replans=%d evicted=%d, want >= 1 each", res.Replans, res.EvictedGroups)
+	}
+	if res.HandoffRetries < 1 {
+		t.Fatalf("periodic channel drops recorded no hand-off retries")
+	}
+	if res.RecoveryMs <= 0 {
+		t.Fatalf("recovery time not recorded")
+	}
+	if !res.DegradedDuring {
+		t.Fatalf("fleet stayed resident during the outage; 2 x 4 MB hosts cannot hold a 6 MB model")
+	}
+	if !res.ResidentAfterRejoin || !res.PlacementRestored {
+		t.Fatalf("rejoin did not restore residency: resident=%v restored=%v",
+			res.ResidentAfterRejoin, res.PlacementRestored)
+	}
+	for _, name := range []string{
+		"fleet_host_down_total", "fleet_replans_total",
+		"fleet_handoff_retries_total", "fleet_evicted_groups_total",
+		"fleet_degraded",
+	} {
+		found := false
+		for k := range res.Metrics {
+			if strings.HasPrefix(k, name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("recovery series %s missing from the metrics snapshot", name)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"0 dropped", "recovery", "degraded", "restored=true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}

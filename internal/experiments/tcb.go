@@ -53,6 +53,10 @@ var untrustedPackages = map[string]bool{
 	// Telemetry (metric registry, tracing, exposition) observes the
 	// enclave pipeline from outside; nothing secret crosses into it.
 	"obs": true,
+	// Fault injection scripts host kills and channel faults from the
+	// untrusted side — exactly where a real adversary or failure
+	// lives; enclaves only ever see the resulting refused crossings.
+	"chaos": true,
 }
 
 // TCBResult is the LOC split.

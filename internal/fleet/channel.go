@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plinius/internal/chaos"
 	"plinius/internal/enclave"
 	"plinius/internal/engine"
 	"plinius/internal/obs"
@@ -35,19 +36,46 @@ type Channel struct {
 	latency   time.Duration
 	bandwidth float64 // bytes per second; <= 0 means unbounded
 
+	// Fault handling: a Carry whose modeled wire time exceeds deadline
+	// (or that an injector drops outright) is treated as lost and
+	// re-sent after exponential backoff, up to retries re-sends. Sealed
+	// per-batch payloads make the re-send idempotent — a duplicate
+	// delivery decrypts to the same activations — so retry is always
+	// safe.
+	deadline time.Duration
+	retries  int
+	backoff  time.Duration
+	faults   *chaos.Injector
+
 	key []byte // provisioned transport key (both endpoints verified equal)
 
 	transfers atomic.Uint64
 	bytes     atomic.Uint64
 	modeledNS atomic.Int64
+	retried   atomic.Uint64
 
 	mBytes   *obs.Counter
 	mSeconds *obs.Counter
+	mRetries *obs.Counter
+}
+
+// chanConfig carries the per-channel wire model and fault policy from
+// the fleet to newChannel.
+type chanConfig struct {
+	latency   time.Duration
+	bandwidth float64
+	deadline  time.Duration
+	retries   int
+	backoff   time.Duration
+	faults    *chaos.Injector
+	mBytes    *obs.Counter
+	mSeconds  *obs.Counter
+	mRetries  *obs.Counter
 }
 
 // newChannel attests both endpoint enclaves and provisions a shared
 // transport key across them.
-func newChannel(from, to int, src, dst *enclave.Enclave, latency time.Duration, bandwidth float64, mBytes, mSeconds *obs.Counter) (*Channel, error) {
+func newChannel(from, to int, src, dst *enclave.Enclave, cfg chanConfig) (*Channel, error) {
 	owner, err := enclave.NewOwner(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: channel owner: %w", err)
@@ -97,30 +125,89 @@ func newChannel(from, to int, src, dst *enclave.Enclave, latency time.Duration, 
 	return &Channel{
 		From: from, To: to,
 		src: src, dst: dst,
-		latency: latency, bandwidth: bandwidth,
+		latency: cfg.latency, bandwidth: cfg.bandwidth,
+		deadline: cfg.deadline, retries: cfg.retries, backoff: cfg.backoff,
+		faults: cfg.faults,
 		key:    kSrc,
-		mBytes: mBytes, mSeconds: mSeconds,
+		mBytes: cfg.mBytes, mSeconds: cfg.mSeconds, mRetries: cfg.mRetries,
 	}, nil
 }
 
 // Carry moves one sealed activation blob across the link, charging the
 // modeled wire time (latency plus size over bandwidth) to the
 // destination host's clock and accounting the traffic.
+//
+// Transient faults — an injected drop, or a delay pushing the wire time
+// past the channel deadline — cost the sender the detection wait (the
+// deadline, or the full wire time when no deadline is set) plus an
+// exponential backoff, then the sealed blob is re-sent. After retries
+// re-sends the Carry fails with ErrHandoffFault, which the fleet treats
+// as retryable at the routing layer. A dead endpoint host fails
+// immediately with enclave.ErrHostDown: no amount of re-sending reaches
+// a machine that is gone, so the fleet must evict and replan instead.
 func (c *Channel) Carry(sealed []byte) error {
-	d := c.latency
-	if c.bandwidth > 0 {
-		d += time.Duration(float64(len(sealed)) / c.bandwidth * float64(time.Second))
+	attempts := c.retries + 1
+	if attempts < 1 {
+		attempts = 1
 	}
-	if d > 0 {
-		c.dst.Clock().Advance(d)
+	for attempt := 0; attempt < attempts; attempt++ {
+		if c.src.Host().Down() || c.dst.Host().Down() {
+			return fmt.Errorf("fleet: channel %d->%d: %w", c.From, c.To, enclave.ErrHostDown)
+		}
+		d := c.latency
+		if c.bandwidth > 0 {
+			d += time.Duration(float64(len(sealed)) / c.bandwidth * float64(time.Second))
+		}
+		dec := c.faults.Next()
+		d += dec.Extra
+		if dec.Kind == chaos.Drop || (c.deadline > 0 && d > c.deadline) {
+			// Lost or too late. The sender detects the loss at the
+			// deadline (or after the full wire time when no deadline is
+			// set), backs off exponentially, and re-sends.
+			wait := d
+			if c.deadline > 0 {
+				wait = c.deadline
+			}
+			bo := c.backoff
+			if bo > 0 {
+				shift := attempt
+				if shift > 10 {
+					shift = 10
+				}
+				bo <<= uint(shift)
+			}
+			c.dst.Clock().Advance(wait + bo)
+			c.retried.Add(1)
+			if c.mRetries != nil {
+				c.mRetries.Inc()
+			}
+			continue
+		}
+		copies := 1
+		if dec.Kind == chaos.Duplicate {
+			// Delivered twice: the wire is charged for both copies; the
+			// sealed payload makes the second delivery a no-op for
+			// correctness.
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			if d > 0 {
+				c.dst.Clock().Advance(d)
+			}
+			c.transfers.Add(1)
+			c.bytes.Add(uint64(len(sealed)))
+			c.modeledNS.Add(int64(d))
+			c.mBytes.AddUint(uint64(len(sealed)))
+			c.mSeconds.Add(d.Seconds())
+		}
+		return nil
 	}
-	c.transfers.Add(1)
-	c.bytes.Add(uint64(len(sealed)))
-	c.modeledNS.Add(int64(d))
-	c.mBytes.AddUint(uint64(len(sealed)))
-	c.mSeconds.Add(d.Seconds())
-	return nil
+	return fmt.Errorf("fleet: channel %d->%d: %w after %d attempts", c.From, c.To, ErrHandoffFault, attempts)
 }
+
+// Retried returns how many transfer attempts were re-sent after a
+// transient fault.
+func (c *Channel) Retried() uint64 { return c.retried.Load() }
 
 // Transfers returns the number of hand-offs carried.
 func (c *Channel) Transfers() uint64 { return c.transfers.Load() }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plinius/internal/chaos"
 	"plinius/internal/core"
 	"plinius/internal/darknet"
 	"plinius/internal/enclave"
@@ -20,7 +21,39 @@ import (
 )
 
 // Fleet errors.
-var ErrClosed = errors.New("fleet: fleet is closed")
+var (
+	ErrClosed = errors.New("fleet: fleet is closed")
+	// ErrUnavailable is returned when a batch cannot be served because
+	// the fleet has no live capacity: hosts are down and the survivors
+	// hold no serving groups (a replan is in progress or has failed).
+	// It is transient — a rejoining host clears it — so the serving
+	// front end maps it to 503 + Retry-After rather than a hard error.
+	ErrUnavailable = errors.New("fleet: no serving capacity (hosts down or replan in progress)")
+	// ErrDegraded marks the fleet's degraded serving state: survivors
+	// could not hold the full resident placement, so the fleet fell
+	// back to a single streaming shard group. Serving continues —
+	// slower, paying PM restores per batch — which is the point: the
+	// degradation ladder is resident → streaming → shed, and ErrDegraded
+	// names the middle rung in Stats and health reports.
+	ErrDegraded = errors.New("fleet: degraded serving (streaming on survivors)")
+	// ErrHandoffFault is returned by a Channel whose bounded retry could
+	// not carry a hand-off through injected or transient faults. The
+	// router treats it as retryable.
+	ErrHandoffFault = errors.New("fleet: hand-off failed after retries")
+)
+
+// Default hand-off fault policy: a transient channel fault is re-sent
+// up to defaultHandoffRetries times with exponential backoff starting
+// at defaultHandoffBackoff.
+const (
+	defaultHandoffRetries = 5
+	defaultHandoffBackoff = 200 * time.Microsecond
+	// maxBatchRetries bounds the router-level retry of one micro-batch
+	// across recoveries: each retry follows a detection + eviction +
+	// replan pass, so more than a few only means hosts keep dying
+	// faster than the fleet can replan.
+	maxBatchRetries = 4
+)
 
 // Options parameterises New.
 type Options struct {
@@ -48,6 +81,24 @@ type Options struct {
 	// DisablePrefetch turns off double-buffered restores in every
 	// group's pipeline.
 	DisablePrefetch bool
+	// ChannelFaults, when non-nil, supplies a fault injector for each
+	// inter-host channel as it is provisioned (keyed by the endpoint
+	// host indices). Nil injectors are fine; the channel runs clean.
+	ChannelFaults func(fromHost, toHost int) *chaos.Injector
+	// HandoffDeadline bounds one hand-off transfer's modeled wire time:
+	// a transfer delayed past it is treated as lost and re-sent. Zero
+	// disables the deadline (a transfer is only re-sent when dropped).
+	HandoffDeadline time.Duration
+	// HandoffRetries caps re-sends of one hand-off after transient
+	// faults (default defaultHandoffRetries). Negative disables retry.
+	HandoffRetries int
+	// HandoffBackoff is the base of the exponential backoff between
+	// hand-off re-sends (default defaultHandoffBackoff).
+	HandoffBackoff time.Duration
+	// DispatchDeadline bounds one micro-batch's total dispatch time
+	// across router-level retries and recoveries, in wall-clock time.
+	// Zero means no deadline.
+	DispatchDeadline time.Duration
 	// Metrics is the registry the fabric series register into
 	// (fleet_handoff_bytes_total and friends, plus every group's
 	// shard counters labeled group=g). Nil gives the fleet a private
@@ -78,8 +129,21 @@ func (h *handoff) Bind(from, to int, src, dst *enclave.Enclave) error {
 	if h.hosts[from] == h.hosts[to] {
 		return nil
 	}
-	ch, err := newChannel(from, to, src, dst,
-		h.fl.latency, h.fl.bandwidth, h.fl.mBytes, h.fl.mSeconds)
+	var faults *chaos.Injector
+	if h.fl.channelFaults != nil {
+		faults = h.fl.channelFaults(h.hosts[from], h.hosts[to])
+	}
+	ch, err := newChannel(from, to, src, dst, chanConfig{
+		latency:   h.fl.latency,
+		bandwidth: h.fl.bandwidth,
+		deadline:  h.fl.handoffDeadline,
+		retries:   h.fl.handoffRetries,
+		backoff:   h.fl.handoffBackoff,
+		faults:    faults,
+		mBytes:    h.fl.mBytes,
+		mSeconds:  h.fl.mSeconds,
+		mRetries:  h.fl.mRetries,
+	})
 	if err != nil {
 		return err
 	}
@@ -110,6 +174,7 @@ func (h *handoff) Carry(from, to int, sealed []byte) error {
 // until the flip is done, and no request is ever dropped.
 type Fleet struct {
 	f         *core.Framework
+	net       *darknet.Network // planning-side model parse, kept for replans
 	hosts     []*enclave.Host
 	placement Placement
 	groups    []*group
@@ -117,21 +182,42 @@ type Fleet struct {
 	inputSize int
 	overhead  int
 
+	seed            int64
+	epoch           int64 // bumped per group rebuild, differentiates enclave RNGs
+	replicasOpt     int
+	disablePrefetch bool
+
 	latency   time.Duration
 	bandwidth float64
 
-	// mu gates intake against control operations (see type doc).
+	channelFaults    func(fromHost, toHost int) *chaos.Injector
+	handoffDeadline  time.Duration
+	handoffRetries   int
+	handoffBackoff   time.Duration
+	dispatchDeadline time.Duration
+
+	// mu gates intake against control operations (see type doc). The
+	// recovery path (eviction + replan) is a control operation: it runs
+	// under the write side, so the atomic-flip guarantee extends to
+	// failure handling.
 	mu     sync.RWMutex
 	closed bool
+	down   []bool // per-host death marks, guarded by mu
+
+	degraded atomic.Bool
 
 	inflight atomic.Int64
 
 	chanMu   sync.Mutex
 	channels []*Channel
 
-	reg      *obs.Registry
-	mBytes   *obs.Counter
-	mSeconds *obs.Counter
+	reg       *obs.Registry
+	mBytes    *obs.Counter
+	mSeconds  *obs.Counter
+	mRetries  *obs.Counter
+	mHostDown *obs.Counter
+	mReplans  *obs.Counter
+	mEvicted  *obs.Counter
 }
 
 // New builds the fleet: the placement is restored from the durable
@@ -182,23 +268,61 @@ func New(f *core.Framework, opts Options) (*Fleet, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	handoffRetries := opts.HandoffRetries
+	switch {
+	case handoffRetries == 0:
+		handoffRetries = defaultHandoffRetries
+	case handoffRetries < 0:
+		handoffRetries = 0
+	}
+	handoffBackoff := opts.HandoffBackoff
+	if handoffBackoff <= 0 {
+		handoffBackoff = defaultHandoffBackoff
+	}
 	fl := &Fleet{
-		f:         f,
-		hosts:     opts.Hosts,
-		placement: placement,
-		batch:     batch,
-		inputSize: net.InputSize(),
-		overhead:  overhead,
-		latency:   opts.ChannelLatency,
-		bandwidth: opts.ChannelBandwidth,
-		reg:       reg,
+		f:                f,
+		net:              net,
+		hosts:            opts.Hosts,
+		placement:        placement,
+		batch:            batch,
+		inputSize:        net.InputSize(),
+		overhead:         overhead,
+		seed:             opts.Seed,
+		replicasOpt:      opts.Replicas,
+		disablePrefetch:  opts.DisablePrefetch,
+		latency:          opts.ChannelLatency,
+		bandwidth:        opts.ChannelBandwidth,
+		channelFaults:    opts.ChannelFaults,
+		handoffDeadline:  opts.HandoffDeadline,
+		handoffRetries:   handoffRetries,
+		handoffBackoff:   handoffBackoff,
+		dispatchDeadline: opts.DispatchDeadline,
+		down:             make([]bool, len(opts.Hosts)),
+		reg:              reg,
 	}
 	// Fabric series register up front, so the families exist (at zero)
-	// even for a single-host fleet with no cross-host channel.
+	// even for a single-host fleet with no cross-host channel — the
+	// chaos families included, so a healthy fleet exposes them at zero.
 	fl.mBytes = reg.Counter("fleet_handoff_bytes_total",
 		"Sealed activation bytes carried across inter-host hand-off channels.")
 	fl.mSeconds = reg.Counter("fleet_handoff_seconds_total",
 		"Modeled wire time of inter-host hand-offs, in seconds.")
+	fl.mRetries = reg.Counter("fleet_handoff_retries_total",
+		"Hand-off transfers re-sent after a transient channel fault.")
+	fl.mHostDown = reg.Counter("fleet_host_down_total",
+		"Fleet hosts detected dead and marked down.")
+	fl.mReplans = reg.Counter("fleet_replans_total",
+		"Placement replans (host-failure recovery and rejoin promotion).")
+	fl.mEvicted = reg.Counter("fleet_evicted_groups_total",
+		"Replica groups evicted because a host they touched died.")
+	reg.GaugeFunc("fleet_degraded",
+		"1 while the fleet serves degraded (streaming on survivors), else 0.",
+		func() float64 {
+			if fl.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc("fleet_router_queue_depth",
 		"Micro-batches currently in flight across the fleet router.",
 		func() float64 { return float64(fl.inflight.Load()) })
@@ -210,39 +334,59 @@ func New(f *core.Framework, opts Options) (*Fleet, error) {
 			obs.Label{Key: "host", Value: strconv.Itoa(i)})
 	}
 
-	fail := func(err error) (*Fleet, error) {
+	groups, err := fl.buildGroups(placement.Plan, placement.Groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	fl.groups = groups
+	if err := f.RecordPlacement(placementEntries(placement)); err != nil {
 		for _, g := range fl.groups {
+			_ = g.sg.Close()
+		}
+		return nil, fmt.Errorf("fleet: record placement: %w", err)
+	}
+	return fl, nil
+}
+
+// buildGroups builds one shard group per assignment, on its placed
+// hosts, with attested channels across every host boundary. labelBase
+// offsets the group metric label so replacement groups built after an
+// eviction do not collide with survivors. On error every group built so
+// far is closed.
+func (fl *Fleet) buildGroups(plan []darknet.ShardRange, assignments [][]int, labelBase int) ([]*group, error) {
+	var groups []*group
+	fail := func(err error) ([]*group, error) {
+		for _, g := range groups {
 			_ = g.sg.Close()
 		}
 		return nil, err
 	}
-	for gi, assignment := range placement.Groups {
+	epoch := fl.epoch
+	fl.epoch++
+	for gi, assignment := range assignments {
 		shardHosts := make([]*enclave.Host, len(assignment))
 		for s, h := range assignment {
-			shardHosts[s] = opts.Hosts[h]
+			shardHosts[s] = fl.hosts[h]
 		}
 		hd := &handoff{fl: fl, hosts: assignment, chans: make(map[int]*Channel)}
-		sg, err := f.NewShardGroup(core.ShardOptions{
-			Plan:            placement.Plan,
+		sg, err := fl.f.NewShardGroup(core.ShardOptions{
+			Plan:            plan,
 			Hosts:           shardHosts,
 			Host:            shardHosts[0],
 			Handoff:         hd,
-			Batch:           batch,
-			OverheadBytes:   overhead,
-			Seed:            opts.Seed + int64(gi)*1024,
-			DisablePrefetch: opts.DisablePrefetch,
-			Metrics:         reg,
-			Labels:          []obs.Label{{Key: "group", Value: strconv.Itoa(gi)}},
+			Batch:           fl.batch,
+			OverheadBytes:   fl.overhead,
+			Seed:            fl.seed + epoch*65536 + int64(gi)*1024,
+			DisablePrefetch: fl.disablePrefetch,
+			Metrics:         fl.reg,
+			Labels:          []obs.Label{{Key: "group", Value: strconv.Itoa(labelBase + gi)}},
 		})
 		if err != nil {
-			return fail(fmt.Errorf("fleet: group %d: %w", gi, err))
+			return fail(fmt.Errorf("fleet: group %d: %w", labelBase+gi, err))
 		}
-		fl.groups = append(fl.groups, &group{sg: sg, hosts: assignment})
+		groups = append(groups, &group{sg: sg, hosts: assignment})
 	}
-	if err := f.RecordPlacement(placementEntries(placement)); err != nil {
-		return fail(fmt.Errorf("fleet: record placement: %w", err))
-	}
-	return fl, nil
+	return groups, nil
 }
 
 // placementEntries flattens a placement for the durable manifest.
@@ -372,11 +516,60 @@ func (fl *Fleet) ClassifyBatch(images []float32) ([]int, error) {
 // whole batch, so a concurrent Refresh/Rotate/Close waits out every
 // admitted batch before flipping — no request is ever dropped by a
 // control operation.
+//
+// Failure handling rides the same path: a batch that dies on a killed
+// host (or exhausts a channel's transient-fault retry) triggers a
+// recovery pass — mark hosts down, evict every group touching one,
+// replan on the survivors — and is then re-routed to a surviving
+// group. Sealed per-batch hand-offs make the re-route idempotent, so
+// an accepted batch survives a host kill with no drop; only when the
+// whole fleet is gone (or DispatchDeadline expires) does the batch
+// fail, typed ErrUnavailable.
 func (fl *Fleet) ClassifyBatchCtx(ctx context.Context, images []float32) ([]int, error) {
+	var deadline time.Time
+	if fl.dispatchDeadline > 0 {
+		deadline = time.Now().Add(fl.dispatchDeadline)
+	}
+	for attempt := 0; ; attempt++ {
+		classes, err := fl.classifyOnce(ctx, images)
+		if err == nil || !retryableFault(err) {
+			return classes, err
+		}
+		if attempt >= maxBatchRetries || ctx.Err() != nil ||
+			(!deadline.IsZero() && time.Now().After(deadline)) {
+			return nil, fmt.Errorf("%w: %w", ErrUnavailable, err)
+		}
+		if rerr := fl.recoverHostFailure(); rerr != nil {
+			return nil, fmt.Errorf("%w: recovery: %w", ErrUnavailable, rerr)
+		}
+	}
+}
+
+// retryableFault reports whether a batch error means "try another
+// group", not "the request is bad": a dead host, an exhausted hand-off
+// retry, or a group closed under the batch by a concurrent eviction.
+func retryableFault(err error) bool {
+	return errors.Is(err, enclave.ErrHostDown) ||
+		errors.Is(err, ErrHandoffFault) ||
+		errors.Is(err, core.ErrShardGroupClosed)
+}
+
+// classifyOnce routes one micro-batch to one replica group under the
+// read lock.
+func (fl *Fleet) classifyOnce(ctx context.Context, images []float32) ([]int, error) {
 	fl.mu.RLock()
 	defer fl.mu.RUnlock()
 	if fl.closed {
 		return nil, ErrClosed
+	}
+	if len(fl.groups) == 0 {
+		downCount := 0
+		for _, d := range fl.down {
+			if d {
+				downCount++
+			}
+		}
+		return nil, fmt.Errorf("%w: %d of %d hosts down", ErrUnavailable, downCount, len(fl.hosts))
 	}
 	g := fl.pick(images)
 	g.inflight.Add(1)
@@ -386,6 +579,243 @@ func (fl *Fleet) ClassifyBatchCtx(ctx context.Context, images []float32) ([]int,
 		fl.inflight.Add(-1)
 	}()
 	return g.sg.ClassifyBatchCtx(ctx, images)
+}
+
+// recoverHostFailure is the detection + eviction + replan pass, run
+// under the write lock so it is one atomic flip against intake: scan
+// the hosts for new deaths, mark them down, close every replica group
+// touching a dead host (their enclaves fail fast, so the drain cannot
+// wedge), and replan the freed work onto the survivors' headroom. When
+// nothing changed — another batch's recovery already ran, or the fault
+// was a transient channel error — it returns immediately and the
+// caller just retries on the current topology.
+func (fl *Fleet) recoverHostFailure() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return ErrClosed
+	}
+	newly := 0
+	for i, h := range fl.hosts {
+		if h.Down() && !fl.down[i] {
+			fl.down[i] = true
+			newly++
+			fl.mHostDown.Inc()
+		}
+	}
+	kept := make([]*group, 0, len(fl.groups))
+	evicted := 0
+	for _, g := range fl.groups {
+		dead := false
+		for _, hi := range g.hosts {
+			if fl.down[hi] {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			_ = g.sg.Close()
+			evicted++
+			fl.mEvicted.Inc()
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	if newly == 0 && evicted == 0 {
+		return nil
+	}
+	fl.groups = kept
+	return fl.replanLocked()
+}
+
+// replanLocked replans placement over the live hosts' current headroom
+// and rebuilds groups to match, holding fl.mu. Survivor groups keep
+// serving untouched; freed capacity is refilled with replacement
+// groups when it admits them. When no group survived and the survivors
+// cannot hold a full resident placement, the fleet degrades to a
+// single streaming shard group (resident → streaming → shed ladder)
+// rather than going dark. The final placement is recorded to the
+// durable manifest — a Romulus transaction, so a crash mid-rewrite
+// recovers either the old or the new placement, never a torn mix.
+func (fl *Fleet) replanLocked() error {
+	fl.mReplans.Inc()
+	fl.degraded.Store(false)
+	var live []int
+	for i := range fl.hosts {
+		if !fl.down[i] {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		// Total outage: shed until a host rejoins.
+		fl.placement.Groups = nil
+		return nil
+	}
+	headrooms := make([]int, len(live))
+	for j, i := range live {
+		headrooms[j] = fl.hosts[i].Headroom()
+	}
+
+	if len(fl.groups) > 0 {
+		// Survivors keep serving on the shared plan; top up replica
+		// groups on the freed capacity when it admits full copies.
+		var extra [][]int
+		if fl.replicasOpt > 0 {
+			if want := fl.replicasOpt - len(fl.groups); want > 0 {
+				if a, ok := assign(fl.placement.Footprints, headrooms, fl.overhead, want); ok {
+					extra = remapHosts(a, live)
+				}
+			}
+		} else {
+			for n := 1; len(fl.groups)+n <= len(live); n++ {
+				a, ok := assign(fl.placement.Footprints, headrooms, fl.overhead, n)
+				if !ok {
+					break
+				}
+				extra = remapHosts(a, live)
+			}
+		}
+		if len(extra) > 0 {
+			groups, err := fl.buildGroups(fl.placement.Plan, extra, len(fl.groups))
+			if err == nil {
+				fl.groups = append(fl.groups, groups...)
+			}
+			// A failed top-up is not fatal: the survivors still serve.
+		}
+		fl.syncPlacementLocked()
+		return fl.recordPlacementLocked()
+	}
+
+	// Nothing survived: plan fresh over the survivors. Resident first;
+	// when that is infeasible, degrade to one streaming group instead
+	// of shedding.
+	placement, err := PlanPlacement(fl.net, headrooms, fl.batch, fl.overhead, fl.replicasOpt)
+	if err == nil {
+		placement.Groups = remapHosts(placement.Groups, live)
+		groups, berr := fl.buildGroups(placement.Plan, placement.Groups, 0)
+		if berr != nil {
+			return berr
+		}
+		fl.groups = groups
+		fl.placement = placement
+		return fl.recordPlacementLocked()
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		return err
+	}
+	placement, err = fl.degradedPlacement(live, headrooms)
+	if err != nil {
+		// Even streaming cannot be built; shed until a host rejoins.
+		fl.placement.Groups = nil
+		return fl.recordPlacementLocked()
+	}
+	groups, err := fl.buildGroups(placement.Plan, placement.Groups, 0)
+	if err != nil {
+		return err
+	}
+	fl.groups = groups
+	fl.placement = placement
+	fl.degraded.Store(true)
+	return fl.recordPlacementLocked()
+}
+
+// degradedPlacement plans the streaming fallback: shards bounded by the
+// roomiest survivor's headroom, assigned across the survivors by
+// remaining capacity, one group. The shards will not all be resident —
+// that is the point; the shard groups' per-host residency logic parks
+// the overflow in PM and streams it per batch.
+func (fl *Fleet) degradedPlacement(live []int, headrooms []int) (Placement, error) {
+	maxHead := 0
+	for _, h := range headrooms {
+		if h > maxHead {
+			maxHead = h
+		}
+	}
+	bound := maxHead - fl.overhead
+	if bound < 1 {
+		bound = 1
+	}
+	plan, err := fl.net.PlanShardsAt(bound, fl.batch, darknet.FP32)
+	if err != nil {
+		return Placement{}, fmt.Errorf("fleet: degraded plan: %w", err)
+	}
+	fps, err := footprints(fl.net, plan, fl.batch, darknet.FP32)
+	if err != nil {
+		return Placement{}, err
+	}
+	remaining := append([]int(nil), headrooms...)
+	assignment := make([]int, len(plan))
+	for s := range plan {
+		best := 0
+		for h, rem := range remaining {
+			if rem > remaining[best] {
+				best = h
+			}
+		}
+		remaining[best] -= fl.overhead
+		assignment[s] = live[best]
+	}
+	return Placement{Plan: plan, Footprints: fps, Groups: [][]int{assignment}}, nil
+}
+
+// remapHosts rewrites planner-local host indices (positions in the live
+// list) back to fleet host indices.
+func remapHosts(groups [][]int, live []int) [][]int {
+	out := make([][]int, len(groups))
+	for g, a := range groups {
+		out[g] = make([]int, len(a))
+		for s, h := range a {
+			out[g][s] = live[h]
+		}
+	}
+	return out
+}
+
+// syncPlacementLocked rebuilds fl.placement.Groups from the live
+// groups' actual assignments.
+func (fl *Fleet) syncPlacementLocked() {
+	assignments := make([][]int, len(fl.groups))
+	for i, g := range fl.groups {
+		assignments[i] = g.hosts
+	}
+	fl.placement.Groups = assignments
+}
+
+// recordPlacementLocked writes the current placement to the durable
+// manifest (one Romulus transaction: old or new, never torn).
+func (fl *Fleet) recordPlacementLocked() error {
+	if err := fl.f.RecordPlacement(placementEntries(fl.placement)); err != nil {
+		return fmt.Errorf("fleet: record placement: %w", err)
+	}
+	return nil
+}
+
+// Rejoin re-admits hosts that have come back (enclave.Host.Rejoin) and
+// promotes the fleet back to the best placement the live hosts can
+// hold: everything is drained and rebuilt under the write lock, so the
+// promotion is one atomic flip and — the planner being deterministic —
+// a fully healed fleet lands back on its original resident placement.
+func (fl *Fleet) Rejoin() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return ErrClosed
+	}
+	changed := false
+	for i, h := range fl.hosts {
+		if fl.down[i] && !h.Down() {
+			fl.down[i] = false
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	for _, g := range fl.groups {
+		_ = g.sg.Close()
+	}
+	fl.groups = nil
+	return fl.replanLocked()
 }
 
 // control drains the fleet and runs op on every replica group under
@@ -445,14 +875,24 @@ func (fl *Fleet) Close() error {
 func (fl *Fleet) Hosts() int { return len(fl.hosts) }
 
 // Groups returns the number of replica groups.
-func (fl *Fleet) Groups() int { return len(fl.groups) }
+func (fl *Fleet) Groups() int {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	return len(fl.groups)
+}
 
 // Shards returns the number of pipeline stages per replica group.
-func (fl *Fleet) Shards() int { return len(fl.placement.Plan) }
+func (fl *Fleet) Shards() int {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	return len(fl.placement.Plan)
+}
 
 // Window returns the fleet's total in-flight batch capacity (the sum
 // of the groups' pipeline windows).
 func (fl *Fleet) Window() int {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
 	w := 0
 	for _, g := range fl.groups {
 		w += g.sg.Window()
@@ -463,6 +903,8 @@ func (fl *Fleet) Window() int {
 // Streaming reports whether any replica group streams parked ranges
 // from PM per batch.
 func (fl *Fleet) Streaming() bool {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
 	for _, g := range fl.groups {
 		if g.sg.Streaming() {
 			return true
@@ -471,6 +913,35 @@ func (fl *Fleet) Streaming() bool {
 	return false
 }
 
+// Degraded reports whether the fleet is serving degraded: survivors
+// could not hold the full resident placement and the fleet fell back
+// to a streaming group (the ErrDegraded state).
+func (fl *Fleet) Degraded() bool { return fl.degraded.Load() }
+
+// HostsDown returns how many fleet hosts are currently marked down.
+func (fl *Fleet) HostsDown() int {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	n := 0
+	for _, d := range fl.down {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Replans counts placement replans (failure recovery and rejoin
+// promotion).
+func (fl *Fleet) Replans() uint64 { return uint64(fl.mReplans.Value()) }
+
+// EvictedGroups counts replica groups evicted because a host died.
+func (fl *Fleet) EvictedGroups() uint64 { return uint64(fl.mEvicted.Value()) }
+
+// HandoffRetries counts hand-off transfers re-sent after transient
+// channel faults.
+func (fl *Fleet) HandoffRetries() uint64 { return uint64(fl.mRetries.Value()) }
+
 // Batch returns the plan's micro-batch bound.
 func (fl *Fleet) Batch() int { return fl.batch }
 
@@ -478,15 +949,33 @@ func (fl *Fleet) Batch() int { return fl.batch }
 func (fl *Fleet) InputSize() int { return fl.inputSize }
 
 // Version returns the published model version the fleet serves (the
-// groups flip together, so any group's answer is the fleet's).
-func (fl *Fleet) Version() uint64 { return fl.groups[0].sg.Version() }
+// groups flip together, so any group's answer is the fleet's). Zero
+// while a total outage leaves the fleet with no groups.
+func (fl *Fleet) Version() uint64 {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	if len(fl.groups) == 0 {
+		return 0
+	}
+	return fl.groups[0].sg.Version()
+}
 
-// Iteration returns the training iteration of the served snapshot.
-func (fl *Fleet) Iteration() int { return fl.groups[0].sg.Iteration() }
+// Iteration returns the training iteration of the served snapshot, or
+// zero while the fleet has no groups.
+func (fl *Fleet) Iteration() int {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	if len(fl.groups) == 0 {
+		return 0
+	}
+	return fl.groups[0].sg.Iteration()
+}
 
 // Placement returns the fleet's placement (shared plan, per-group host
 // assignment).
 func (fl *Fleet) Placement() Placement {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
 	p := Placement{
 		Plan:       append([]darknet.ShardRange(nil), fl.placement.Plan...),
 		Footprints: append([]int(nil), fl.placement.Footprints...),
@@ -537,6 +1026,8 @@ func (fl *Fleet) Channels() int {
 
 // sumGroups totals one shard-group counter across the fleet.
 func (fl *Fleet) sumGroups(pick func(*core.ShardGroup) uint64) uint64 {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
 	var total uint64
 	for _, g := range fl.groups {
 		total += pick(g.sg)
@@ -569,6 +1060,7 @@ func (fl *Fleet) PrefetchedRestores() uint64 {
 // paging, and the shard ranges placed on it.
 type HostReport struct {
 	Host              int      `json:"host"`
+	Down              bool     `json:"down"`
 	UsableEPC         int      `json:"usable_epc_bytes"`
 	ResidentBytes     int      `json:"resident_bytes"`
 	PeakResidentBytes int      `json:"peak_resident_bytes"`
@@ -580,12 +1072,15 @@ type HostReport struct {
 
 // HostReports returns one report per fleet host.
 func (fl *Fleet) HostReports() []HostReport {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
 	reports := make([]HostReport, len(fl.hosts))
 	for i, h := range fl.hosts {
 		st := h.Stats()
 		usable := h.UsableEPC()
 		r := HostReport{
 			Host:              i,
+			Down:              fl.down[i],
 			UsableEPC:         usable,
 			ResidentBytes:     st.ResidentBytes,
 			PeakResidentBytes: st.PeakResidentBytes,

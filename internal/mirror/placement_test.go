@@ -1,6 +1,7 @@
 package mirror
 
 import (
+	"errors"
 	"testing"
 
 	"plinius/internal/romulus"
@@ -86,5 +87,92 @@ func TestPlacementRoundTripAndReuse(t *testing.T) {
 	}
 	if got, _ := p2.Placement(); len(got) != len(larger) {
 		t.Fatalf("larger placement read back %d entries, want %d", len(got), len(larger))
+	}
+}
+
+// TestPlacementRewriteCrashSweep is the fleet-replan durability sweep:
+// a live replan rewrites the placement manifest through the Romulus
+// transaction, and a crash at ANY step of that rewrite must recover to
+// the entirely-old or entirely-new placement — never a torn mix of
+// the two. The sweep injects a crash before every commit step in turn
+// until a rewrite completes crash-free.
+func TestPlacementRewriteCrashSweep(t *testing.T) {
+	oldPlacement := []PlacementEntry{
+		{Group: 0, Shard: 0, Host: 0},
+		{Group: 0, Shard: 1, Host: 1},
+		{Group: 0, Shard: 2, Host: 2},
+	}
+	// The replanned placement after losing host 0: fewer hosts, more
+	// entries (a replica group appears), so the region reallocates —
+	// the structurally hardest rewrite.
+	newPlacement := []PlacementEntry{
+		{Group: 0, Shard: 0, Host: 1},
+		{Group: 0, Shard: 1, Host: 2},
+		{Group: 0, Shard: 2, Host: 1},
+		{Group: 1, Shard: 0, Host: 2},
+		{Group: 1, Shard: 1, Host: 1},
+		{Group: 1, Shard: 2, Host: 2},
+	}
+	sameAs := func(got, want []PlacementEntry) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	completed := false
+	for crashPoint := 1; crashPoint < 128 && !completed; crashPoint++ {
+		dev, rom := testHeap(t, 4<<20)
+		p, err := OpenPublication(rom)
+		if err != nil {
+			t.Fatalf("OpenPublication: %v", err)
+		}
+		if err := p.RecordPlacement(oldPlacement); err != nil {
+			t.Fatalf("record old placement: %v", err)
+		}
+
+		rom.SetCrashPoint(crashPoint)
+		err = p.RecordPlacement(newPlacement)
+		if err == nil {
+			// The rewrite has fewer commit steps than this crash point:
+			// the sweep has covered every step.
+			completed = true
+		} else if !errors.Is(err, romulus.ErrCrashInjected) {
+			t.Fatalf("crash point %d: unexpected error %v", crashPoint, err)
+		}
+
+		// Power loss: volatile state gone, recovery replays the log.
+		dev.Crash()
+		rom2, err := romulus.Open(dev)
+		if err != nil {
+			t.Fatalf("crash point %d: romulus.Open: %v", crashPoint, err)
+		}
+		p2, err := OpenPublication(rom2)
+		if err != nil {
+			t.Fatalf("crash point %d: OpenPublication: %v", crashPoint, err)
+		}
+		got, err := p2.Placement()
+		if err != nil {
+			t.Fatalf("crash point %d: Placement: %v", crashPoint, err)
+		}
+		switch {
+		case completed:
+			if !sameAs(got, newPlacement) {
+				t.Fatalf("crash-free rewrite read back %v, want new placement", got)
+			}
+		case sameAs(got, oldPlacement), sameAs(got, newPlacement):
+			// Either whole state is legal mid-rewrite.
+		default:
+			t.Fatalf("crash point %d: torn placement %v (neither old %v nor new %v)",
+				crashPoint, got, oldPlacement, newPlacement)
+		}
+	}
+	if !completed {
+		t.Fatalf("sweep never reached a crash-free rewrite; raise the crash point bound")
 	}
 }

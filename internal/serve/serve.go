@@ -821,6 +821,32 @@ func (s *Server) FleetHostReports() []fleet.HostReport {
 	return s.fleet.HostReports()
 }
 
+// FleetDegraded reports whether the serving fleet fell back to
+// degraded streaming after host failures; always false outside fleet
+// mode.
+func (s *Server) FleetDegraded() bool {
+	return s.fleet != nil && s.fleet.Degraded()
+}
+
+// FleetHostsDown returns how many fleet hosts are marked down, 0
+// outside fleet mode.
+func (s *Server) FleetHostsDown() int {
+	if s.fleet == nil {
+		return 0
+	}
+	return s.fleet.HostsDown()
+}
+
+// FleetRejoin re-admits fleet hosts that have come back and promotes
+// the fleet to the best placement the live hosts hold (fleet.Rejoin).
+// No-op outside fleet mode.
+func (s *Server) FleetRejoin() error {
+	if s.fleet == nil {
+		return nil
+	}
+	return s.fleet.Rejoin()
+}
+
 // Precision returns the parameter precision the pool serves: Int8 when
 // Options.Quantized selected the quantized snapshot variant (whole-
 // model replica pool only), FP32 otherwise — shard and fleet pipelines
@@ -1002,6 +1028,11 @@ func (s *Server) Stats() Stats {
 		st.FleetGroups = s.fleet.Groups()
 		st.FleetHandoffs = s.fleet.HandoffTransfers()
 		st.FleetHandoffBytes = s.fleet.HandoffBytes()
+		st.FleetHostsDown = s.fleet.HostsDown()
+		st.FleetDegraded = s.fleet.Degraded()
+		st.FleetReplans = s.fleet.Replans()
+		st.FleetEvictedGroups = s.fleet.EvictedGroups()
+		st.FleetHandoffRetries = s.fleet.HandoffRetries()
 	case s.group != nil:
 		st.ShardRestores = s.group.Restores()
 		st.ShardStalls = s.group.Stalls()

@@ -69,6 +69,16 @@ type Stats struct {
 	FleetGroups       int
 	FleetHandoffs     uint64
 	FleetHandoffBytes uint64
+	// Fleet failure-domain state: FleetHostsDown is the number of hosts
+	// currently marked dead, FleetDegraded whether the fleet fell back
+	// to streaming on survivors (the fleet.ErrDegraded state),
+	// FleetReplans / FleetEvictedGroups / FleetHandoffRetries the
+	// recovery counters behind fleet_replans_total and friends.
+	FleetHostsDown      int
+	FleetDegraded       bool
+	FleetReplans        uint64
+	FleetEvictedGroups  uint64
+	FleetHandoffRetries uint64
 }
 
 // statsCollector is the server's view onto its metrics registry. The

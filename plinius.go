@@ -286,6 +286,18 @@ var (
 	// layer split.
 	ErrInfeasiblePlacement = fleet.ErrInfeasible
 	ErrFleetClosed         = fleet.ErrClosed
+	// ErrHostDown: a boundary crossing was refused because the enclave's
+	// host has been killed; the fleet treats it as a routing failure.
+	ErrHostDown = enclave.ErrHostDown
+	// ErrFleetUnavailable: no live serving capacity — hosts are down and
+	// the survivors hold no groups. Transient; maps to 503 + Retry-After.
+	ErrFleetUnavailable = fleet.ErrUnavailable
+	// ErrFleetDegraded names the degraded serving state (streaming on
+	// survivors after host loss) surfaced in Stats and /healthz.
+	ErrFleetDegraded = fleet.ErrDegraded
+	// ErrHandoffFault: a sealed hand-off could not be carried through
+	// transient channel faults within the bounded retry budget.
+	ErrHandoffFault = fleet.ErrHandoffFault
 )
 
 // NewFleet plans (or restores) a placement of f's model across the
